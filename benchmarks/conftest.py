@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+One session-scoped :class:`~repro.analysis.harness.Lab` is shared by all
+benchmarks so controllers are trained once and the performance-governor
+references are computed once.  Rendered outputs are printed so a
+``pytest benchmarks/ --benchmark-only -s`` run doubles as the paper's
+results section.
+"""
+
+import pytest
+
+from repro.analysis.harness import Lab
+
+
+@pytest.fixture(scope="session")
+def lab():
+    return Lab()
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiments are multi-second simulations; statistical repetition
+    belongs to the simulation's own job counts, not to benchmark rounds.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

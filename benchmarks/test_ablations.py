@@ -1,0 +1,448 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: sparsity (gamma), safety margin,
+predictor placement (§4.3), timing-jitter sensitivity (the reproduction
+band's main fidelity concern), and the asymmetric objective vs. plain OLS.
+"""
+
+from dataclasses import replace
+
+import pytest
+from conftest import one_shot
+
+from repro.analysis.harness import Lab
+from repro.analysis.render import format_table
+from repro.pipeline.config import PipelineConfig
+from repro.runtime.placement import PredictorPlacement
+
+APP = "ldecode"
+
+
+def test_ablation_gamma_sparsity(benchmark, lab):
+    """More L1 weight -> fewer features -> cheaper slice, same misses."""
+
+    def sweep():
+        rows = []
+        for gamma_rel in (0.0, 1e-3, 2e-2, 1e-1):
+            config = replace(lab.pipeline_config, gamma_rel=gamma_rel)
+            controller = lab.controller(APP, config)
+            run = lab.run(
+                APP, "prediction", pipeline_config=config, use_cache=False
+            )
+            rows.append(
+                (
+                    gamma_rel,
+                    controller.predictor.n_selected_columns,
+                    len(controller.predictor.needed_sites),
+                    lab.normalized_energy(run, APP) * 100.0,
+                    run.miss_rate * 100.0,
+                )
+            )
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    print(
+        "\n"
+        + format_table(
+            ["gamma_rel", "columns", "sites", "energy[%]", "misses[%]"],
+            rows,
+            title="Ablation: L1 sparsity weight (ldecode)",
+        )
+    )
+    columns = [r[1] for r in rows]
+    assert columns == sorted(columns, reverse=True)  # monotone selection
+    for row in rows[:3]:
+        assert row[4] < 1.0  # sparsity does not cost deadlines
+
+
+def test_ablation_margin(benchmark, lab):
+    """Larger safety margins trade energy for miss protection (§3.4)."""
+
+    def sweep():
+        rows = []
+        for margin in (0.0, 0.05, 0.10, 0.30):
+            config = replace(lab.pipeline_config, margin=margin)
+            run = lab.run(
+                APP,
+                "prediction",
+                budget_s=0.034,  # tight: near the max job time
+                pipeline_config=config,
+                use_cache=False,
+            )
+            rows.append(
+                (
+                    margin,
+                    lab.normalized_energy(run, APP, budget_s=0.034) * 100.0,
+                    run.miss_rate * 100.0,
+                )
+            )
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    print(
+        "\n"
+        + format_table(
+            ["margin", "energy[%]", "misses[%]"],
+            rows,
+            title="Ablation: prediction safety margin (ldecode, tight budget)",
+        )
+    )
+    # Energy rises (weakly) with margin; big margins keep misses lowest
+    # (up to the unavoidable jitter-tail misses no margin can prevent).
+    assert rows[-1][1] >= rows[0][1] - 1.0
+    assert rows[-1][2] <= rows[0][2] + 0.5
+
+
+def test_ablation_placement(benchmark, lab):
+    """Sequential vs pipelined vs parallel predictor placement (§4.3)."""
+
+    def sweep():
+        rows = []
+        for placement in PredictorPlacement:
+            run = lab.run(
+                APP, "prediction", placement=placement, use_cache=False
+            )
+            rows.append(
+                (
+                    placement.value,
+                    lab.normalized_energy(run, APP) * 100.0,
+                    run.miss_rate * 100.0,
+                    run.mean_predictor_time_s * 1e3,
+                )
+            )
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    print(
+        "\n"
+        + format_table(
+            ["placement", "energy[%]", "misses[%]", "predictor[ms]"],
+            rows,
+            title="Ablation: predictor placement (ldecode)",
+        )
+    )
+    by_name = {r[0]: r for r in rows}
+    # Pipelined placement removes the budget impact of the predictor.
+    assert by_name["pipelined"][3] == 0.0
+    # No placement misses deadlines at the paper's budget.
+    for row in rows:
+        assert row[2] < 1.0
+
+
+def test_ablation_jitter_sensitivity(benchmark):
+    """Governor fidelity under growing timing noise (repro-band concern).
+
+    The 10% margin absorbs moderate jitter; when noise grows past it,
+    misses appear.  This bench quantifies where that cliff is.
+    """
+
+    def sweep():
+        rows = []
+        for sigma in (0.0, 0.02, 0.05, 0.10):
+            noisy_lab = Lab(jitter_sigma=sigma, seed=17)
+            run = noisy_lab.run(APP, "prediction", n_jobs=150)
+            rows.append(
+                (
+                    sigma,
+                    noisy_lab.normalized_energy(run, APP) * 100.0,
+                    run.miss_rate * 100.0,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            ["jitter sigma", "energy[%]", "misses[%]"],
+            rows,
+            title="Ablation: timing-jitter sensitivity (ldecode)",
+        )
+    )
+    by_sigma = {r[0]: r for r in rows}
+    # The paper's 10% margin absorbs 2% noise completely.
+    assert by_sigma[0.0][2] == 0.0
+    assert by_sigma[0.02][2] < 0.5
+    # Noise beyond the margin starts costing deadlines.
+    assert by_sigma[0.10][2] >= by_sigma[0.02][2]
+
+
+def test_ablation_model_degree(benchmark, lab):
+    """Linear vs degree-2 execution-time model (§3.5 extension).
+
+    The paper's §5.3 finding: "relatively little gain to be had from
+    improved prediction" — the quadratic model must not meaningfully beat
+    the linear one on energy or misses for these workloads.
+    """
+
+    def sweep():
+        rows = []
+        for degree in (1, 2):
+            config = replace(lab.pipeline_config, model_degree=degree)
+            run = lab.run(
+                APP, "prediction", pipeline_config=config, use_cache=False
+            )
+            rows.append(
+                (
+                    degree,
+                    lab.normalized_energy(run, APP) * 100.0,
+                    run.miss_rate * 100.0,
+                )
+            )
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    print(
+        "\n"
+        + format_table(
+            ["model degree", "energy[%]", "misses[%]"],
+            rows,
+            title="Ablation: linear vs quadratic time model (ldecode)",
+        )
+    )
+    linear, quadratic = rows[0], rows[1]
+    assert quadratic[2] < 1.0  # still safe
+    assert abs(quadratic[1] - linear[1]) < 5.0  # little gain (paper §5.3)
+
+
+def test_ablation_batch_prediction(benchmark, lab):
+    """Batched decisions for millisecond budgets (paper §7 future work).
+
+    At 2048's tightest budget (normalized 1.0 ~ 2.6 ms) the paper
+    observes per-job prediction costing MORE than the performance
+    governor because switch time dominates; batching divides predictor
+    and switch overheads by the batch size.  At looser budgets, batching
+    gives back a little energy and some misses on variable workloads —
+    the trade-off the paper anticipates.
+    """
+
+    def sweep():
+        app = "2048"
+        reference = lab.run(app, "performance", n_jobs=200)
+        max_time = max(reference.exec_times_s)
+        rows = []
+        for factor in (1.0, 2.0):
+            budget = factor * max_time
+            for governor in ("prediction", "prediction-batch8"):
+                run = lab.run(app, governor, budget_s=budget, n_jobs=200)
+                rows.append(
+                    (
+                        factor,
+                        governor,
+                        lab.normalized_energy(run, app, budget_s=budget)
+                        * 100.0,
+                        run.miss_rate * 100.0,
+                        run.switch_count,
+                    )
+                )
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    print(
+        "\n"
+        + format_table(
+            ["norm.budget", "governor", "energy[%]", "misses[%]", "switches"],
+            rows,
+            title="Ablation: per-job vs batched prediction (2048, ms budgets)",
+        )
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    tight_per_job = by_key[(1.0, "prediction")]
+    tight_batch = by_key[(1.0, "prediction-batch8")]
+    # The paper's >100% pathology at the tightest budget...
+    assert tight_per_job[2] > 100.0
+    # ...which batching repairs.
+    assert tight_batch[2] < tight_per_job[2]
+    # At a looser budget both save heavily; batch switches far less.
+    loose_per_job = by_key[(2.0, "prediction")]
+    loose_batch = by_key[(2.0, "prediction-batch8")]
+    assert loose_per_job[2] < 60.0
+    assert loose_batch[4] < loose_per_job[4] / 4
+    assert abs(loose_batch[2] - loose_per_job[2]) < 10.0
+
+
+def test_ablation_a15_platform(benchmark):
+    """The paper's §5.1 robustness note: "we saw similar trends when
+    running on the A15 core."  Re-run the headline comparison on an
+    A15-only platform (different ladder, voltages, and power constants).
+    """
+
+    def sweep():
+        from repro.analysis.harness import Lab
+        from repro.platform.opp import default_xu3_a15_table
+        from repro.platform.power import default_a15_power_model
+
+        a15_lab = Lab(
+            opps=default_xu3_a15_table(),
+            power=default_a15_power_model(),
+            seed=42,
+            switch_samples=50,
+        )
+        rows = []
+        for governor in ("performance", "interactive", "pid", "prediction"):
+            energies = []
+            misses = []
+            for app in ("ldecode", "sha", "xpilot"):
+                run = a15_lab.run(app, governor, n_jobs=150)
+                energies.append(a15_lab.normalized_energy(run, app) * 100.0)
+                misses.append(run.miss_rate * 100.0)
+            rows.append(
+                (
+                    governor,
+                    sum(energies) / len(energies),
+                    sum(misses) / len(misses),
+                )
+            )
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    print(
+        "\n"
+        + format_table(
+            ["governor", "energy[%]", "misses[%]"],
+            rows,
+            title="Ablation: headline trends on the A15-only platform",
+        )
+    )
+    by_name = {r[0]: r for r in rows}
+    prediction = by_name["prediction"]
+    interactive = by_name["interactive"]
+    pid = by_name["pid"]
+    # Same trends as the A7 (Fig. 15): prediction saves the most with no
+    # misses; interactive saves less; PID misses many.
+    assert prediction[1] < interactive[1]
+    assert prediction[2] < 0.5
+    assert pid[2] > 3.0
+
+
+def test_ablation_biglittle(benchmark, lab):
+    """Heterogeneous cores as the trade-off mechanism (paper §3.5).
+
+    With a 20 ms ldecode budget the A7 cluster alone cannot meet the
+    heaviest frames (33 ms at its top clock); the same prediction flow
+    pointed at the merged big.LITTLE ladder hops clusters per frame and
+    meets (almost) all deadlines at a fraction of the big-pinned energy.
+    """
+
+    def sweep():
+        from repro.governors.performance import PerformanceGovernor
+        from repro.pipeline import build_controller
+        from repro.platform import Board, LogNormalJitter
+        from repro.platform.biglittle import build_biglittle_platform
+        from repro.runtime import TaskLoopRunner
+
+        table, power, switcher = build_biglittle_platform()
+        app = lab.app(APP)
+        controller = build_controller(
+            app, opps=table, config=lab.pipeline_config
+        )
+
+        def run(governor):
+            board = Board(
+                opps=table,
+                power=power,
+                switcher=switcher,
+                jitter=LogNormalJitter(0.02, seed=11),
+            )
+            return TaskLoopRunner(
+                board,
+                app.task.with_budget(0.020),
+                governor,
+                app.inputs(150, seed=lab.seed),
+            ).run()
+
+        baseline = run(PerformanceGovernor(table))
+        prediction = run(controller.governor())
+        clusters = {
+            "A15" if job.opp_mhz > 1400 else "A7"
+            for job in prediction.jobs
+        }
+        return baseline, prediction, clusters
+
+    baseline, prediction, clusters = one_shot(benchmark, sweep)
+    print(
+        "\n"
+        + format_table(
+            ["governor", "energy[J]", "misses[%]"],
+            [
+                ("performance (A15 pinned)", baseline.energy_j,
+                 baseline.miss_rate * 100),
+                ("prediction (cluster-hopping)", prediction.energy_j,
+                 prediction.miss_rate * 100),
+            ],
+            title="Ablation: big.LITTLE control (ldecode, 20 ms budget)",
+        )
+    )
+    # Both clusters genuinely used, big savings, (almost) no misses.
+    assert clusters == {"A7", "A15"}
+    assert prediction.energy_j < baseline.energy_j * 0.6
+    assert prediction.miss_rate < 0.02
+    assert baseline.miss_rate == 0.0
+
+
+def test_ablation_asymmetric_vs_ols(benchmark, lab):
+    """alpha=1 (OLS-like) vs alpha=100: the asymmetric objective is what
+    turns an accurate model into a SAFE one.
+
+    The direct claim is about the model: symmetric training under-predicts
+    about half the jobs, asymmetric training almost never.  End-to-end
+    energy/misses are printed for context (at realistic budgets the
+    discrete frequency ladder and the jitter tail can mask one or two
+    jobs' worth of difference either way).
+    """
+
+    def sweep():
+        from repro.platform.cpu import SimulatedCpu
+
+        cpu = SimulatedCpu()
+        app = lab.app(APP)
+        rows = []
+        for alpha in (1.0, 100.0):
+            config = replace(lab.pipeline_config, alpha=alpha, margin=0.0)
+            controller = lab.controller(APP, config)
+            task_globals = app.task.program.fresh_globals()
+            under = 0
+            total = 0
+            for inputs in app.inputs(150, seed=lab.seed + 13):
+                result = lab.interpreter.execute(
+                    controller.instrumented.program, inputs, task_globals
+                )
+                actual = cpu.ideal_time(result.work, lab.opps.fmax)
+                predicted = controller.predictor.predict_raw(
+                    result.features
+                ).t_fmax_s
+                under += predicted < actual
+                total += 1
+            run = lab.run(
+                APP,
+                "prediction",
+                budget_s=0.034,
+                pipeline_config=config,
+                use_cache=False,
+            )
+            rows.append(
+                (
+                    alpha,
+                    100.0 * under / total,
+                    lab.normalized_energy(run, APP, budget_s=0.034) * 100.0,
+                    run.miss_rate * 100.0,
+                )
+            )
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    print(
+        "\n"
+        + format_table(
+            ["alpha", "under-pred[%]", "energy[%]", "misses[%]"],
+            rows,
+            title="Ablation: symmetric vs asymmetric objective (no margin)",
+        )
+    )
+    symmetric, asymmetric = rows[0], rows[1]
+    # Symmetric training under-predicts roughly half the time; the
+    # asymmetric objective pushes that near zero (the paper's §3.3 point).
+    assert symmetric[1] > 20.0
+    assert asymmetric[1] < 5.0
+    # End-to-end outcomes stay in the same ballpark (a couple of jobs).
+    assert abs(asymmetric[3] - symmetric[3]) < 2.0

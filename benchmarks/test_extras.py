@@ -1,0 +1,32 @@
+"""Benches for the beyond-paper analyses: robustness and energy breakdown."""
+
+from conftest import one_shot
+
+from repro.analysis.experiments import energy_breakdown, robustness
+
+
+def test_energy_breakdown(benchmark, lab):
+    result = one_shot(benchmark, energy_breakdown.run, lab)
+    print("\n" + energy_breakdown.render(result))
+    perf = result.row("performance")
+    pred = result.row("prediction")
+    # The mechanism behind Fig. 15: performance burns idle watts at fmax,
+    # prediction converts the spend into (cheaper) busy cycles.
+    assert perf.share("idle") > 0.2
+    assert pred.share("idle") < perf.share("idle")
+    assert pred.total_j < perf.total_j
+    # Overheads are real but small.
+    assert 0.0 < pred.share("predictor") + pred.share("switch") < 0.05
+
+
+def test_robustness_across_seeds(benchmark, lab):
+    result = one_shot(benchmark, robustness.run, lab)
+    print("\n" + robustness.render(result))
+    prediction = result.spread("prediction")
+    pid = result.spread("pid")
+    # The headline is seed-stable: tight energy spread, zero misses on
+    # EVERY seed — not a lucky draw.
+    assert prediction.energy_std_pct < 3.0
+    assert prediction.miss_max_pct < 0.5
+    # And PID's miss problem is also not a lucky draw.
+    assert pid.miss_mean_pct > 5.0

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 2 (ldecode per-job execution-time trace)."""
+
+from conftest import one_shot
+
+from repro.analysis.experiments import fig02_trace
+
+
+def test_fig02_ldecode_trace(benchmark, lab):
+    result = one_shot(benchmark, fig02_trace.run, lab)
+    print("\n" + fig02_trace.render(result))
+    # Shape: large job-to-job variation within the paper's 6-33 ms band.
+    assert 4.0 < result.min_ms < 10.0
+    assert 15.0 < result.avg_ms < 26.0
+    assert 26.0 < result.max_ms < 42.0
+    assert result.spread_ratio > 3.0  # single-DVFS-setting cannot serve this

@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 3 (PID expected time lags actual time)."""
+
+from conftest import one_shot
+
+from repro.analysis.experiments import fig03_pid_lag
+
+
+def test_fig03_pid_lag(benchmark, lab):
+    result = one_shot(benchmark, fig03_pid_lag.run, lab)
+    print("\n" + fig03_pid_lag.render(result))
+    # Shape: the PID estimate tracks the PREVIOUS job better than the
+    # CURRENT one — the reactive-control lag the paper's Fig. 3 shows.
+    assert result.lag_correlation > result.instant_correlation
+    assert result.lag_correlation > 0.5

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 9 (execution time linear in 1/frequency)."""
+
+from conftest import one_shot
+
+from repro.analysis.experiments import fig09_linearity
+
+
+def test_fig09_linearity(benchmark, lab):
+    result = one_shot(benchmark, fig09_linearity.run, lab)
+    print("\n" + fig09_linearity.render(result))
+    # Shape: t vs 1/f is essentially a perfect line with a small positive
+    # memory-bound intercept.
+    assert result.r_squared > 0.999
+    assert result.tmem_ms > 0.0
+    assert result.avg_times_ms[0] > result.avg_times_ms[-1] * 4

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 11 (95th-pct DVFS switch-time matrix)."""
+
+from conftest import one_shot
+
+from repro.analysis.experiments import fig11_switching
+
+
+def test_fig11_switch_times(benchmark, lab):
+    result = one_shot(benchmark, fig11_switching.run, lab)
+    print("\n" + fig11_switching.render(result))
+    # Shape: zero diagonal; hundreds of microseconds for neighbours up to
+    # a couple of milliseconds for full-swing transitions (paper: ~2.4 ms).
+    n = len(result.freqs_mhz)
+    for i in range(n):
+        assert result.matrix_us[i][i] == 0.0
+    assert 100.0 < result.best_nonzero_us < 1000.0
+    assert 800.0 < result.worst_us < 5000.0
+    # Larger voltage swings take longer: corner beats adjacent.
+    assert result.matrix_us[0][n - 1] > result.matrix_us[0][1]

@@ -1,0 +1,39 @@
+"""Bench: regenerate Fig. 15 (energy + misses, 4 governors x 8 apps).
+
+The paper's headline numbers this harness checks for:
+- prediction saves ~56% vs performance with ~0% misses;
+- interactive saves less (~29%) with small misses (~2%);
+- PID saves about as much as prediction but misses ~13% of deadlines.
+"""
+
+from conftest import one_shot
+
+from repro.analysis.experiments import fig15_energy_misses
+
+
+def test_fig15_energy_and_misses(benchmark, lab):
+    result = one_shot(benchmark, fig15_energy_misses.run, lab)
+    print("\n" + fig15_energy_misses.render(result))
+
+    prediction_energy = result.average_energy_pct("prediction")
+    interactive_energy = result.average_energy_pct("interactive")
+    pid_energy = result.average_energy_pct("pid")
+
+    # Headline: large savings with essentially no misses.
+    assert 35.0 < prediction_energy < 60.0  # paper: 44%
+    assert result.average_miss_pct("prediction") < 0.5  # paper: ~0.1%
+
+    # Prediction beats the interactive governor on energy...
+    assert prediction_energy < interactive_energy - 10.0  # paper gap: 27%
+    # ...while the interactive governor keeps misses low but nonzero.
+    assert 0.0 <= result.average_miss_pct("interactive") < 6.0  # paper: 2%
+
+    # PID is competitive on energy but misses many deadlines.
+    assert abs(pid_energy - prediction_energy) < 8.0  # paper gap: 1%
+    assert 6.0 < result.average_miss_pct("pid") < 30.0  # paper: 13%
+
+    # Per-app: prediction never misses more than performance does.
+    for cell in result.cells:
+        if cell.governor == "prediction":
+            perf = result.cell(cell.app, "performance")
+            assert cell.miss_pct <= perf.miss_pct + 0.5

@@ -1,0 +1,38 @@
+"""Bench: regenerate Fig. 16 (energy + misses vs normalized budget).
+
+One sweep per benchmark app, as in the paper's 8 subfigures.  Shape
+criteria: prediction's energy decreases as budgets loosen; below
+normalized budget 1.0 its misses track the performance governor's
+(misses that are impossible to avoid at any frequency).
+"""
+
+import pytest
+from conftest import one_shot
+
+from repro.analysis.experiments import fig16_budget_sweep
+from repro.workloads.registry import app_names
+
+
+@pytest.mark.parametrize("app", app_names())
+def test_fig16_budget_sweep(benchmark, lab, app):
+    result = one_shot(benchmark, fig16_budget_sweep.run, lab, app)
+    print("\n" + fig16_budget_sweep.render(result))
+
+    prediction = result.series("prediction")
+    performance = result.series("performance")
+
+    # Energy at the loosest budget is no more than at the tightest.
+    assert prediction[-1].energy_pct <= prediction[0].energy_pct + 5.0
+
+    # At generous budgets (>= 1.2x) prediction misses nothing...
+    for point in prediction:
+        if point.budget_factor >= 1.2:
+            assert point.miss_pct < 1.0
+    # ...and saves real energy vs performance.
+    assert prediction[-1].energy_pct < 90.0
+
+    # Below budget 1.0 misses happen, but stay within reach of the
+    # unavoidable ones (those the performance governor also suffers).
+    for pred, perf in zip(prediction, performance):
+        if pred.budget_factor < 1.0:
+            assert pred.miss_pct <= perf.miss_pct + 25.0

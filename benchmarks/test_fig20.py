@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 20 (energy vs misses across alpha weights)."""
+
+from conftest import one_shot
+
+from repro.analysis.experiments import fig20_alpha_sweep
+
+
+def test_fig20_alpha_sweep(benchmark, lab):
+    result = one_shot(benchmark, fig20_alpha_sweep.run, lab)
+    print("\n" + fig20_alpha_sweep.render(result))
+
+    by_alpha = {p.alpha: p for p in result.points}
+    # Shape: energy grows (weakly) with alpha — heavier under-prediction
+    # penalties buy safety with energy.
+    assert by_alpha[1.0].energy_pct <= by_alpha[1000.0].energy_pct + 1.0
+    # Misses shrink (weakly) as alpha grows; at the paper's choice of 100
+    # misses are essentially zero.
+    assert by_alpha[100.0].miss_pct <= by_alpha[1.0].miss_pct + 0.1
+    assert by_alpha[100.0].miss_pct < 0.5
+    assert by_alpha[1000.0].miss_pct < 0.5

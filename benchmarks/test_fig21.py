@@ -1,0 +1,39 @@
+"""Bench: regenerate Fig. 21 (idling between jobs)."""
+
+from conftest import one_shot
+
+from repro.analysis.experiments import fig21_idling
+
+
+def test_fig21_idling(benchmark, lab):
+    result = one_shot(benchmark, fig21_idling.run, lab)
+    print("\n" + fig21_idling.render(result))
+
+    # Shape: idling helps the performance governor the most (it wastes
+    # the most between jobs)...
+    perf_gain = result.average_pct("performance") - result.average_pct(
+        "performance+idle"
+    )
+    pred_gain = result.average_pct("prediction") - result.average_pct(
+        "prediction+idle"
+    )
+    assert perf_gain > pred_gain
+    assert perf_gain > 10.0
+
+    # ...prediction+idle beats performance+idle and interactive+idle on
+    # average (paper: 35% less energy than both)...
+    assert result.average_pct("prediction+idle") < result.average_pct(
+        "performance+idle"
+    )
+    assert result.average_pct("prediction+idle") < result.average_pct(
+        "interactive+idle"
+    )
+
+    # ...and per app, prediction WITHOUT idling already beats performance
+    # WITH idling for most benchmarks (paper: all but pocketsphinx).
+    wins = sum(
+        1
+        for row in result.rows
+        if row.energy_pct["prediction"] < row.energy_pct["performance+idle"]
+    )
+    assert wins >= 5

@@ -1,0 +1,100 @@
+"""True micro-benchmarks of the library's hot paths.
+
+Unlike the figure benches (one-shot simulations), these use
+pytest-benchmark's statistical timing across many rounds: interpreter
+throughput, slice execution, model fitting, and a full governed job.
+They guard against performance regressions in the substrate itself.
+"""
+
+from repro.features.encoding import FeatureEncoder
+from repro.features.profiler import Profiler
+from repro.models.solver import solve_asymmetric_lasso
+from repro.platform.board import Board
+from repro.platform.cpu import SimulatedCpu
+from repro.platform.opp import default_xu3_a7_table
+from repro.programs.instrument import Instrumenter
+from repro.programs.interpreter import Interpreter
+from repro.programs.slicer import Slicer
+from repro.workloads.registry import get_app
+
+OPPS = default_xu3_a7_table()
+INTERP = Interpreter()
+
+
+def test_perf_interpreter_ldecode_job(benchmark):
+    """One ldecode frame through the interpreter (~1600 node visits)."""
+    app = get_app("ldecode")
+    inputs = app.inputs(1, seed=0)[0]
+    g = app.task.program.fresh_globals()
+    result = benchmark(INTERP.execute, app.task.program, inputs, g)
+    assert result.work.cycles > 1e6
+
+
+def test_perf_slice_execution(benchmark):
+    """One prediction-slice run (the per-job run-time cost)."""
+    app = get_app("ldecode")
+    inst = Instrumenter().instrument(app.task.program)
+    sl = Slicer().slice(inst)
+    inputs = app.inputs(1, seed=0)[0]
+    result = benchmark(INTERP.execute_isolated, sl.program, inputs, {})
+    assert result.features.counters
+
+
+def test_perf_instrument_and_slice(benchmark):
+    """The offline program transformations on the biggest workload."""
+    app = get_app("2048")
+
+    def transform():
+        inst = Instrumenter().instrument(app.task.program)
+        return Slicer().slice(inst)
+
+    sl = benchmark(transform)
+    assert sl.needed_sites
+
+
+def test_perf_solver_fit(benchmark):
+    """One asymmetric-Lasso fit at profiling scale (200 x 8)."""
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 50, (200, 8))
+    y = X @ rng.uniform(0, 2, 8) + rng.normal(0, 1, 200)
+    result = benchmark(
+        solve_asymmetric_lasso, X, y, alpha=100.0, gamma=10.0, max_iter=2000
+    )
+    assert result.beta.shape == (8,)
+
+
+def test_perf_profile_50_jobs(benchmark):
+    """Profiling 50 instrumented sha jobs (offline-flow hot loop)."""
+    app = get_app("sha")
+    inst = Instrumenter().instrument(app.task.program)
+    profiler = Profiler(INTERP, SimulatedCpu(), OPPS)
+    inputs = app.inputs(50, seed=0)
+    trace = benchmark(profiler.profile, inst, inputs)
+    assert len(trace) == 50
+
+
+def test_perf_one_governed_job(benchmark):
+    """A full simulated job under the predictive governor."""
+    from repro.pipeline import PipelineConfig, build_controller
+    from repro.platform.switching import SwitchLatencyModel
+    from repro.runtime import TaskLoopRunner
+
+    app = get_app("xpilot")
+    controller = build_controller(
+        app,
+        opps=OPPS,
+        config=PipelineConfig(n_profile_jobs=40),
+        switch_table=SwitchLatencyModel(OPPS).microbenchmark(10),
+    )
+    inputs = app.inputs(1, seed=0)
+
+    def one_job():
+        board = Board(opps=OPPS)
+        return TaskLoopRunner(
+            board, app.task, controller.governor(), inputs
+        ).run()
+
+    result = benchmark(one_job)
+    assert result.n_jobs == 1

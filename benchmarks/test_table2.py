@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 2 (job-time statistics at fmax)."""
+
+import pytest
+from conftest import one_shot
+
+from repro.analysis.experiments import table2_job_stats
+
+
+def test_table2_job_stats(benchmark, lab):
+    result = one_shot(benchmark, table2_job_stats.run, lab)
+    print("\n" + table2_job_stats.render(result))
+    # Shape: every app's measured stats sit near the paper's columns.
+    for row in result.rows:
+        assert row.avg_ms == pytest.approx(row.paper_avg_ms, rel=0.35)
+        assert row.max_ms == pytest.approx(row.paper_max_ms, rel=0.35)
+        assert row.min_ms <= row.avg_ms <= row.max_ms

@@ -1,0 +1,73 @@
+"""Scenario: a video player's decode loop under four DVFS governors.
+
+Reproduces the paper's motivating workload (ldecode, Fig. 2/3/15): decode
+one frame per 50 ms budget, and compare the stock Linux governors, a
+reactive PID controller, and the prediction-based controller on energy
+and deadline misses.  Also prints a short per-frame trace so the
+job-to-job variation — and the predictive controller's per-job frequency
+choices — are visible.
+
+Run:  python examples/video_player.py
+"""
+
+from repro.analysis.harness import Lab
+from repro.analysis.render import format_bar, format_table
+
+
+def main():
+    lab = Lab()
+    app = "ldecode"
+
+    print("Training the predictive controller for ldecode (offline flow)...")
+    controller = lab.controller(app)
+    print(f"  instrumented sites : {list(controller.instrumented.site_labels)}")
+    print(f"  selected features  : {sorted(controller.predictor.needed_sites)}")
+    print()
+
+    rows = []
+    results = {}
+    for governor in ("performance", "interactive", "pid", "prediction"):
+        result = lab.run(app, governor)
+        results[governor] = result
+        rows.append(
+            (
+                governor,
+                f"{lab.normalized_energy(result, app) * 100:.1f}",
+                f"{result.miss_rate * 100:.1f}",
+                f"{result.mean_predictor_time_s * 1e3:.2f}",
+            )
+        )
+    print(
+        format_table(
+            ["governor", "energy[%]", "misses[%]", "predictor[ms]"],
+            rows,
+            title="ldecode, 50 ms frame budget, 250 frames",
+        )
+    )
+
+    print("\nPer-frame view (prediction governor), frames 30-44:")
+    pred = results["prediction"]
+    trace_rows = []
+    for job in pred.jobs[30:45]:
+        trace_rows.append(
+            (
+                job.index,
+                f"{job.exec_time_s * 1e3:.1f}",
+                f"{job.opp_mhz:.0f}",
+                format_bar(job.exec_time_s * 1e3, 50.0, width=25),
+            )
+        )
+    print(
+        format_table(
+            ["frame", "decode[ms]", "freq[MHz]", "of 50 ms budget"],
+            trace_rows,
+        )
+    )
+    print(
+        "\nNote how the chosen frequency follows each frame's content "
+        "(I-frames and busy scenes run faster; skip-heavy frames run slow)."
+    )
+
+
+if __name__ == "__main__":
+    main()

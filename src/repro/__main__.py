@@ -1,0 +1,7 @@
+"""``python -m repro`` — reproduce the paper's tables and figures."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

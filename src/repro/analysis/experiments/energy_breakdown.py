@@ -1,0 +1,82 @@
+"""Where does the energy go?  Per-activity breakdown by governor.
+
+Not a paper figure, but the mechanism behind several of them: the
+performance governor wastes its energy *idling at high frequency between
+jobs*; prediction-based control moves the spend into (cheaper) job
+cycles and pays small predictor/switch taxes.  This decomposition makes
+Figs. 15, 18, and 21 legible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.harness import Lab
+from repro.analysis.render import format_table
+
+__all__ = ["BreakdownRow", "BreakdownResult", "run", "render"]
+
+DEFAULT_GOVERNORS = ("performance", "interactive", "pid", "prediction")
+TAGS = ("job", "idle", "switch", "predictor")
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    governor: str
+    total_j: float
+    by_tag_j: dict[str, float]
+
+    def share(self, tag: str) -> float:
+        """Fraction of this governor's own total spent on ``tag``."""
+        if self.total_j <= 0:
+            return 0.0
+        return self.by_tag_j.get(tag, 0.0) / self.total_j
+
+
+@dataclass(frozen=True)
+class BreakdownResult:
+    app: str
+    rows: tuple[BreakdownRow, ...]
+
+    def row(self, governor: str) -> BreakdownRow:
+        """The breakdown for one governor (KeyError if absent)."""
+        for r in self.rows:
+            if r.governor == governor:
+                return r
+        raise KeyError(governor)
+
+
+def run(
+    lab: Lab | None = None,
+    app_name: str = "ldecode",
+    governors: tuple[str, ...] = DEFAULT_GOVERNORS,
+    n_jobs: int | None = None,
+) -> BreakdownResult:
+    """Measure per-activity energy for each governor on one app."""
+    lab = lab if lab is not None else Lab()
+    rows = []
+    for governor in governors:
+        result = lab.run(app_name, governor, n_jobs=n_jobs)
+        rows.append(
+            BreakdownRow(
+                governor=governor,
+                total_j=result.energy_j,
+                by_tag_j=dict(result.energy_by_tag),
+            )
+        )
+    return BreakdownResult(app=app_name, rows=tuple(rows))
+
+
+def render(result: BreakdownResult) -> str:
+    """Per-governor totals and activity shares."""
+    rows = []
+    for r in result.rows:
+        rows.append(
+            [r.governor, f"{r.total_j:.2f}"]
+            + [f"{100 * r.share(tag):.1f}%" for tag in TAGS]
+        )
+    return format_table(
+        headers=["governor", "total[J]"] + [f"{t} share" for t in TAGS],
+        rows=rows,
+        title=f"Energy breakdown by activity — {result.app}",
+    )

@@ -1,0 +1,72 @@
+"""Fig. 2: per-job (per-frame) execution-time trace for ldecode.
+
+Shows the large job-to-job variation that motivates per-job DVFS
+decisions: the same static task code spans ~6-32 ms depending on frame
+content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.harness import Lab
+from repro.analysis.render import format_bar, format_table
+
+__all__ = ["TraceResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    app: str
+    times_ms: tuple[float, ...]
+
+    @property
+    def min_ms(self) -> float:
+        return min(self.times_ms)
+
+    @property
+    def avg_ms(self) -> float:
+        return float(np.mean(self.times_ms))
+
+    @property
+    def max_ms(self) -> float:
+        return max(self.times_ms)
+
+    @property
+    def spread_ratio(self) -> float:
+        """max/min — the variation a single DVFS setting cannot serve."""
+        return self.max_ms / max(self.min_ms, 1e-12)
+
+
+def run(
+    lab: Lab | None = None, app: str = "ldecode", n_jobs: int = 250
+) -> TraceResult:
+    """Record per-job times at maximum frequency."""
+    lab = lab if lab is not None else Lab()
+    result = lab.run(app, "performance", n_jobs=n_jobs)
+    return TraceResult(
+        app=app,
+        times_ms=tuple(t * 1e3 for t in result.exec_times_s),
+    )
+
+
+def render(result: TraceResult, every: int = 10) -> str:
+    """Summary stats plus a down-sampled text sparkline of the trace."""
+    scale = result.max_ms
+    rows = [
+        (i, f"{t:.1f}", format_bar(t, scale, width=32))
+        for i, t in enumerate(result.times_ms)
+        if i % every == 0
+    ]
+    table = format_table(
+        headers=["job", "time[ms]", "profile"],
+        rows=rows,
+        title=(
+            f"Fig. 2: {result.app} per-job execution time "
+            f"(min {result.min_ms:.1f} / avg {result.avg_ms:.1f} / "
+            f"max {result.max_ms:.1f} ms)"
+        ),
+    )
+    return table

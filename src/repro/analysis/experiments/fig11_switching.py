@@ -1,0 +1,59 @@
+"""Fig. 11: 95th-percentile DVFS switching times per (start, end) pair.
+
+Runs the switching microbenchmark and reports the matrix the predictive
+controller consumes when shrinking the effective budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.harness import Lab
+from repro.analysis.render import format_heatmap
+
+__all__ = ["SwitchingResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class SwitchingResult:
+    freqs_mhz: tuple[float, ...]
+    matrix_us: tuple[tuple[float, ...], ...]
+    """95th-percentile switch times in microseconds, [start][end]."""
+
+    @property
+    def worst_us(self) -> float:
+        return max(max(row) for row in self.matrix_us)
+
+    @property
+    def best_nonzero_us(self) -> float:
+        values = [v for row in self.matrix_us for v in row if v > 0]
+        return min(values)
+
+
+def run(lab: Lab | None = None) -> SwitchingResult:
+    """Report the Lab's microbenchmarked switch-time table."""
+    lab = lab if lab is not None else Lab()
+    matrix = lab.switch_table.as_matrix()
+    return SwitchingResult(
+        freqs_mhz=tuple(p.freq_mhz for p in lab.opps),
+        matrix_us=tuple(tuple(v * 1e6 for v in row) for row in matrix),
+    )
+
+
+def render(result: SwitchingResult) -> str:
+    """The switch-time matrix as a labelled ASCII heatmap."""
+    labels = [f"{f:.0f}" for f in result.freqs_mhz]
+    grid = format_heatmap(
+        result.matrix_us,
+        row_labels=labels,
+        col_labels=labels,
+        title=(
+            "Fig. 11: 95th-percentile DVFS switch times [us] "
+            "(rows: start freq MHz, cols: end freq MHz)"
+        ),
+    )
+    return (
+        f"{grid}\n"
+        f"range: {result.best_nonzero_us:.0f} us (adjacent) to "
+        f"{result.worst_us:.0f} us (full swing)"
+    )

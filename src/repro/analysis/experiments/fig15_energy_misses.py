@@ -1,0 +1,108 @@
+"""Fig. 15: normalized energy and deadline misses, 4 governors x 8 apps.
+
+The paper's headline result: prediction-based control saves ~56% energy
+vs. the performance governor with almost no deadline misses, beating both
+the interactive governor (less saving) and PID control (many misses).
+Budgets are 50 ms per job (4 s for pocketsphinx), as in §5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.harness import Lab
+from repro.analysis.render import format_table
+from repro.workloads.registry import app_names
+
+__all__ = ["Cell", "Fig15Result", "GOVERNORS", "run", "render"]
+
+GOVERNORS = ("performance", "interactive", "pid", "prediction")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (app, governor) outcome."""
+
+    app: str
+    governor: str
+    energy_pct: float
+    """Energy normalized to the performance governor, percent."""
+    miss_pct: float
+    """Deadline misses, percent of jobs."""
+
+
+@dataclass(frozen=True)
+class Fig15Result:
+    cells: tuple[Cell, ...]
+
+    def cell(self, app: str, governor: str) -> Cell:
+        """The (app, governor) cell (KeyError if absent)."""
+        for c in self.cells:
+            if c.app == app and c.governor == governor:
+                return c
+        raise KeyError((app, governor))
+
+    def average_energy_pct(self, governor: str) -> float:
+        """Mean normalized energy across apps for one governor."""
+        values = [c.energy_pct for c in self.cells if c.governor == governor]
+        return sum(values) / len(values)
+
+    def average_miss_pct(self, governor: str) -> float:
+        """Mean deadline-miss percentage across apps for one governor."""
+        values = [c.miss_pct for c in self.cells if c.governor == governor]
+        return sum(values) / len(values)
+
+
+def run(
+    lab: Lab | None = None,
+    governors: tuple[str, ...] = GOVERNORS,
+    apps: tuple[str, ...] | None = None,
+    n_jobs: int | None = None,
+) -> Fig15Result:
+    """Run the full governor x app matrix at the paper's budgets."""
+    lab = lab if lab is not None else Lab()
+    apps = apps if apps is not None else tuple(app_names())
+    cells = []
+    for app in apps:
+        for governor in governors:
+            result = lab.run(app, governor, n_jobs=n_jobs)
+            cells.append(
+                Cell(
+                    app=app,
+                    governor=governor,
+                    energy_pct=lab.normalized_energy(result, app) * 100.0,
+                    miss_pct=result.miss_rate * 100.0,
+                )
+            )
+    return Fig15Result(cells=tuple(cells))
+
+
+def render(result: Fig15Result) -> str:
+    """Energy/miss matrix with a per-governor average row."""
+    governors = sorted(
+        {c.governor for c in result.cells},
+        key=lambda g: GOVERNORS.index(g) if g in GOVERNORS else 99,
+    )
+    apps = list(dict.fromkeys(c.app for c in result.cells))
+    headers = ["benchmark"] + [
+        f"{g}[E% / miss%]" for g in governors
+    ]
+    rows = []
+    for app in apps:
+        row: list[object] = [app]
+        for g in governors:
+            c = result.cell(app, g)
+            row.append(f"{c.energy_pct:6.1f} / {c.miss_pct:5.1f}")
+        rows.append(row)
+    avg_row: list[object] = ["average"]
+    for g in governors:
+        avg_row.append(
+            f"{result.average_energy_pct(g):6.1f} / "
+            f"{result.average_miss_pct(g):5.1f}"
+        )
+    rows.append(avg_row)
+    return format_table(
+        headers,
+        rows,
+        title="Fig. 15: normalized energy and deadline misses",
+    )

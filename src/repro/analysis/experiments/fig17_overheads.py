@@ -1,0 +1,94 @@
+"""Fig. 17: average predictor and DVFS-switch time per job.
+
+The sequential predictor placement spends part of each budget running
+the slice and switching levels; this experiment quantifies both.  The
+paper's shape: overheads are a small fraction of the 50 ms budgets, and
+pocketsphinx's predictor is an order of magnitude costlier than the rest
+(but negligible against its seconds-long jobs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.harness import Lab
+from repro.analysis.render import format_table
+from repro.workloads.registry import app_names
+
+__all__ = ["OverheadRow", "OverheadResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    app: str
+    predictor_ms: float
+    switch_ms: float
+    budget_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.predictor_ms + self.switch_ms
+
+    @property
+    def budget_fraction(self) -> float:
+        return self.total_ms / self.budget_ms
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    rows: tuple[OverheadRow, ...]
+
+    def average_predictor_ms(self) -> float:
+        """Mean predictor time across apps, milliseconds."""
+        return sum(r.predictor_ms for r in self.rows) / len(self.rows)
+
+    def average_switch_ms(self) -> float:
+        """Mean DVFS switch time across apps, milliseconds."""
+        return sum(r.switch_ms for r in self.rows) / len(self.rows)
+
+
+def run(
+    lab: Lab | None = None, n_jobs: int | None = None
+) -> OverheadResult:
+    """Measure mean per-job predictor and switch times (prediction gov)."""
+    lab = lab if lab is not None else Lab()
+    rows = []
+    for app in app_names():
+        result = lab.run(app, "prediction", n_jobs=n_jobs)
+        rows.append(
+            OverheadRow(
+                app=app,
+                predictor_ms=result.mean_predictor_time_s * 1e3,
+                switch_ms=result.mean_switch_time_s * 1e3,
+                budget_ms=result.budget_s * 1e3,
+            )
+        )
+    return OverheadResult(rows=tuple(rows))
+
+
+def render(result: OverheadResult) -> str:
+    """Per-app predictor and switch times with averages."""
+    rows = [
+        (
+            r.app,
+            f"{r.predictor_ms:.3f}",
+            f"{r.switch_ms:.3f}",
+            f"{r.total_ms:.3f}",
+            f"{100 * r.budget_fraction:.2f}%",
+        )
+        for r in result.rows
+    ]
+    rows.append(
+        (
+            "average",
+            f"{result.average_predictor_ms():.3f}",
+            f"{result.average_switch_ms():.3f}",
+            f"{result.average_predictor_ms() + result.average_switch_ms():.3f}",
+            "",
+        )
+    )
+    return format_table(
+        headers=["benchmark", "predictor[ms]", "dvfs[ms]", "total[ms]", "of budget"],
+        rows=rows,
+        title="Fig. 17: average predictor and DVFS switch time per job",
+    )

@@ -1,0 +1,85 @@
+"""Fig. 18: energy with overheads removed, and with oracle prediction.
+
+Four configurations per app:
+
+- ``prediction`` — the full controller, overheads charged;
+- ``w/o dvfs`` — DVFS switches are free (fast-switching circuits);
+- ``w/o predictor+dvfs`` — the slice is also free;
+- ``oracle`` — perfect per-job knowledge, overheads free.
+
+Paper shape: dropping switch overhead saves a few percent; dropping the
+predictor adds almost nothing more; the oracle finds ~10% extra savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.harness import Lab
+from repro.analysis.render import format_table
+from repro.workloads.registry import app_names
+
+__all__ = ["LimitRow", "LimitStudyResult", "CONFIGS", "run", "render"]
+
+CONFIGS = ("prediction", "w/o dvfs", "w/o predictor+dvfs", "oracle")
+
+
+@dataclass(frozen=True)
+class LimitRow:
+    app: str
+    energy_pct: dict[str, float]
+
+
+@dataclass(frozen=True)
+class LimitStudyResult:
+    rows: tuple[LimitRow, ...]
+
+    def average_pct(self, config: str) -> float:
+        """Mean normalized energy across apps for one configuration."""
+        return sum(r.energy_pct[config] for r in self.rows) / len(self.rows)
+
+
+def run(lab: Lab | None = None, n_jobs: int | None = None) -> LimitStudyResult:
+    """Run the four limit-study configurations for every app."""
+    lab = lab if lab is not None else Lab()
+    rows = []
+    for app in app_names():
+        energy: dict[str, float] = {}
+        full = lab.run(app, "prediction", n_jobs=n_jobs)
+        energy["prediction"] = lab.normalized_energy(full, app) * 100.0
+        no_dvfs = lab.run(app, "prediction", n_jobs=n_jobs, charge_switch=False)
+        energy["w/o dvfs"] = lab.normalized_energy(no_dvfs, app) * 100.0
+        free = lab.run(
+            app,
+            "prediction",
+            n_jobs=n_jobs,
+            charge_switch=False,
+            charge_predictor=False,
+        )
+        energy["w/o predictor+dvfs"] = lab.normalized_energy(free, app) * 100.0
+        oracle = lab.run(
+            app,
+            "oracle",
+            n_jobs=n_jobs,
+            charge_switch=False,
+            charge_predictor=False,
+        )
+        energy["oracle"] = lab.normalized_energy(oracle, app) * 100.0
+        rows.append(LimitRow(app=app, energy_pct=energy))
+    return LimitStudyResult(rows=tuple(rows))
+
+
+def render(result: LimitStudyResult) -> str:
+    """Energy per limit-study configuration, per app."""
+    rows = [
+        [r.app] + [f"{r.energy_pct[c]:.1f}" for c in CONFIGS]
+        for r in result.rows
+    ]
+    rows.append(
+        ["average"] + [f"{result.average_pct(c):.1f}" for c in CONFIGS]
+    )
+    return format_table(
+        headers=["benchmark"] + [f"{c}[E%]" for c in CONFIGS],
+        rows=rows,
+        title="Fig. 18: normalized energy with overheads removed / oracle",
+    )

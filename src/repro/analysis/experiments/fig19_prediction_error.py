@@ -1,0 +1,91 @@
+"""Fig. 19: box-and-whisker prediction error per benchmark.
+
+Signed error = predicted - actual execution time at fmax on held-out
+(evaluation) inputs, WITHOUT the safety margin.  Paper shape: errors skew
+positive (the asymmetric objective over-predicts by design); ldecode and
+rijndael have the widest boxes; pocketsphinx errors are large in absolute
+terms but small relative to its seconds-long jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.harness import Lab, default_n_jobs
+from repro.analysis.render import format_table
+from repro.models.metrics import ErrorSummary, signed_errors, summarize_errors
+from repro.platform.cpu import SimulatedCpu
+from repro.workloads.registry import app_names
+
+__all__ = ["PredictionErrorResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class PredictionErrorResult:
+    summaries: dict[str, ErrorSummary]
+    """Signed error summaries in milliseconds, per app."""
+
+
+def run(
+    lab: Lab | None = None,
+    apps: tuple[str, ...] | None = None,
+    n_jobs: int | None = None,
+    seed_offset: int = 7,
+) -> PredictionErrorResult:
+    """Compute raw (margin-free) prediction errors on evaluation inputs."""
+    lab = lab if lab is not None else Lab()
+    apps = apps if apps is not None else tuple(app_names())
+    cpu = SimulatedCpu()
+    summaries: dict[str, ErrorSummary] = {}
+    for name in apps:
+        app = lab.app(name)
+        controller = lab.controller(name)
+        interp = lab.interpreter
+        jobs = n_jobs if n_jobs is not None else default_n_jobs(name)
+        task_globals = app.task.program.fresh_globals()
+        predicted = []
+        actual = []
+        for inputs in app.inputs(jobs, seed=lab.seed + seed_offset):
+            # Features exactly as the run-time slice would compute them.
+            features = interp.execute_isolated(
+                controller.slice.program, inputs, task_globals
+            ).features
+            predicted.append(
+                controller.predictor.predict_raw(features).t_fmax_s
+            )
+            work = interp.execute(app.task.program, inputs, task_globals).work
+            actual.append(cpu.ideal_time(work, lab.opps.fmax))
+        errors_ms = signed_errors(predicted, actual) * 1e3
+        summaries[name] = summarize_errors(errors_ms)
+    return PredictionErrorResult(summaries=summaries)
+
+
+def render(result: PredictionErrorResult) -> str:
+    """Box-plot statistics of signed errors per app."""
+    rows = []
+    for app, s in result.summaries.items():
+        rows.append(
+            (
+                app,
+                f"{s.whisker_low:.2f}",
+                f"{s.q1:.2f}",
+                f"{s.median:.2f}",
+                f"{s.q3:.2f}",
+                f"{s.whisker_high:.2f}",
+                s.n_outliers,
+                f"{100 * s.under_rate:.1f}%",
+            )
+        )
+    return format_table(
+        headers=[
+            "benchmark", "lo-whisk[ms]", "q1[ms]", "median[ms]",
+            "q3[ms]", "hi-whisk[ms]", "outliers", "under-pred",
+        ],
+        rows=rows,
+        title=(
+            "Fig. 19: prediction error (positive = over-prediction, "
+            "margin excluded)"
+        ),
+    )

@@ -1,0 +1,72 @@
+"""Fig. 21: normalized energy with and without idling between jobs.
+
+Idling drops the clock to minimum between jobs (§5.5).  Paper shape: the
+performance governor gains the most (it wastes the most between jobs);
+prediction without idling still beats performance WITH idling on all
+apps except pocketsphinx; prediction+idle wins everywhere.  All values
+are normalized to the performance governor WITHOUT idling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.harness import Lab
+from repro.analysis.render import format_table
+from repro.workloads.registry import app_names
+
+__all__ = ["IdlingRow", "IdlingResult", "GOVERNORS", "run", "render"]
+
+GOVERNORS = ("performance", "interactive", "pid", "prediction")
+
+
+@dataclass(frozen=True)
+class IdlingRow:
+    app: str
+    energy_pct: dict[str, float]
+    """Keyed by governor name, plus '<governor>+idle' variants."""
+
+
+@dataclass(frozen=True)
+class IdlingResult:
+    rows: tuple[IdlingRow, ...]
+
+    def average_pct(self, config: str) -> float:
+        """Mean normalized energy across apps for one configuration."""
+        return sum(r.energy_pct[config] for r in self.rows) / len(self.rows)
+
+
+def run(
+    lab: Lab | None = None,
+    governors: tuple[str, ...] = GOVERNORS,
+    n_jobs: int | None = None,
+) -> IdlingResult:
+    """Every governor, with and without between-job idling."""
+    lab = lab if lab is not None else Lab()
+    rows = []
+    for app in app_names():
+        energy: dict[str, float] = {}
+        for governor in governors:
+            plain = lab.run(app, governor, n_jobs=n_jobs)
+            energy[governor] = lab.normalized_energy(plain, app) * 100.0
+            idled = lab.run(app, governor, n_jobs=n_jobs, idle=True)
+            energy[f"{governor}+idle"] = (
+                lab.normalized_energy(idled, app) * 100.0
+            )
+        rows.append(IdlingRow(app=app, energy_pct=energy))
+    return IdlingResult(rows=tuple(rows))
+
+
+def render(result: IdlingResult) -> str:
+    """Energy per governor with and without idling."""
+    configs = list(result.rows[0].energy_pct)
+    rows = [
+        [r.app] + [f"{r.energy_pct[c]:.1f}" for c in configs]
+        for r in result.rows
+    ]
+    rows.append(["average"] + [f"{result.average_pct(c):.1f}" for c in configs])
+    return format_table(
+        headers=["benchmark"] + configs,
+        rows=rows,
+        title="Fig. 21: normalized energy with (+idle) and without idling",
+    )

@@ -1,0 +1,119 @@
+"""Seed robustness of the headline result (reproduction quality control).
+
+The paper reports single runs on real hardware.  A simulation can do
+better: re-run the Fig. 15 headline across several seeds (different
+scripted inputs, timing noise, and switch-latency draws) and report the
+spread.  If the qualitative result only held for one lucky seed, this is
+where it would show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.harness import Lab
+from repro.analysis.render import format_table
+
+__all__ = ["GovernorSpread", "RobustnessResult", "run", "render"]
+
+DEFAULT_GOVERNORS = ("interactive", "pid", "prediction")
+DEFAULT_APPS = ("ldecode", "sha", "xpilot")
+
+
+@dataclass(frozen=True)
+class GovernorSpread:
+    governor: str
+    energy_mean_pct: float
+    energy_std_pct: float
+    miss_mean_pct: float
+    miss_max_pct: float
+    n_seeds: int
+
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    apps: tuple[str, ...]
+    spreads: tuple[GovernorSpread, ...]
+
+    def spread(self, governor: str) -> GovernorSpread:
+        """The spread for one governor (KeyError if absent)."""
+        for s in self.spreads:
+            if s.governor == governor:
+                return s
+        raise KeyError(governor)
+
+
+def run(
+    lab: Lab | None = None,
+    seeds: tuple[int, ...] = (11, 42, 97, 123),
+    governors: tuple[str, ...] = DEFAULT_GOVERNORS,
+    apps: tuple[str, ...] = DEFAULT_APPS,
+    n_jobs: int | None = 120,
+) -> RobustnessResult:
+    """Average energy/misses per governor across fresh Labs per seed.
+
+    The passed-in lab only supplies configuration defaults; every seed
+    gets an independently trained and evaluated world.
+    """
+    base = lab if lab is not None else Lab()
+    per_governor: dict[str, list[tuple[float, float]]] = {
+        g: [] for g in governors
+    }
+    for seed in seeds:
+        world = Lab(
+            pipeline_config=base.pipeline_config,
+            jitter_sigma=base.jitter_sigma,
+            seed=seed,
+            switch_samples=50,
+        )
+        for governor in governors:
+            energies = []
+            misses = []
+            for app in apps:
+                result = world.run(app, governor, n_jobs=n_jobs)
+                energies.append(world.normalized_energy(result, app) * 100.0)
+                misses.append(result.miss_rate * 100.0)
+            per_governor[governor].append(
+                (float(np.mean(energies)), float(np.mean(misses)))
+            )
+    spreads = []
+    for governor in governors:
+        samples = per_governor[governor]
+        energy = np.array([s[0] for s in samples])
+        miss = np.array([s[1] for s in samples])
+        spreads.append(
+            GovernorSpread(
+                governor=governor,
+                energy_mean_pct=float(energy.mean()),
+                energy_std_pct=float(energy.std()),
+                miss_mean_pct=float(miss.mean()),
+                miss_max_pct=float(miss.max()),
+                n_seeds=len(seeds),
+            )
+        )
+    return RobustnessResult(apps=tuple(apps), spreads=tuple(spreads))
+
+
+def render(result: RobustnessResult) -> str:
+    """Per-governor energy/miss spread across seeds."""
+    rows = [
+        (
+            s.governor,
+            f"{s.energy_mean_pct:.1f} ± {s.energy_std_pct:.1f}",
+            f"{s.miss_mean_pct:.1f}",
+            f"{s.miss_max_pct:.1f}",
+            s.n_seeds,
+        )
+        for s in result.spreads
+    ]
+    return format_table(
+        headers=["governor", "energy[%] mean±std", "miss[%] mean",
+                 "miss[%] worst seed", "seeds"],
+        rows=rows,
+        title=(
+            "Robustness: headline result across seeds "
+            f"(apps: {', '.join(result.apps)})"
+        ),
+    )

@@ -1,0 +1,78 @@
+"""Table 2: job execution-time statistics at maximum frequency.
+
+Measures min/avg/max job time per benchmark under the performance
+governor and reports them next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.harness import Lab
+from repro.analysis.render import format_table
+from repro.workloads.registry import app_names
+
+__all__ = ["AppJobStats", "Table2Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class AppJobStats:
+    """Measured vs. paper job-time statistics for one app (milliseconds)."""
+
+    app: str
+    description: str
+    min_ms: float
+    avg_ms: float
+    max_ms: float
+    paper_min_ms: float
+    paper_avg_ms: float
+    paper_max_ms: float
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    rows: tuple[AppJobStats, ...]
+
+
+def run(lab: Lab | None = None, n_jobs: int | None = None) -> Table2Result:
+    """Measure job-time statistics for all eight benchmarks."""
+    lab = lab if lab is not None else Lab()
+    rows = []
+    for name in app_names():
+        app = lab.app(name)
+        result = lab.run(name, "performance", n_jobs=n_jobs)
+        times_ms = np.array(result.exec_times_s) * 1e3
+        stats = app.paper_stats
+        rows.append(
+            AppJobStats(
+                app=name,
+                description=app.description,
+                min_ms=float(times_ms.min()),
+                avg_ms=float(times_ms.mean()),
+                max_ms=float(times_ms.max()),
+                paper_min_ms=stats.min_ms,
+                paper_avg_ms=stats.avg_ms,
+                paper_max_ms=stats.max_ms,
+            )
+        )
+    return Table2Result(rows=tuple(rows))
+
+
+def render(result: Table2Result) -> str:
+    """ASCII table of measured vs paper job-time statistics."""
+    return format_table(
+        headers=[
+            "benchmark", "min[ms]", "avg[ms]", "max[ms]",
+            "paper-min", "paper-avg", "paper-max",
+        ],
+        rows=[
+            (
+                r.app, r.min_ms, r.avg_ms, r.max_ms,
+                r.paper_min_ms, r.paper_avg_ms, r.paper_max_ms,
+            )
+            for r in result.rows
+        ],
+        title="Table 2: job execution times at maximum frequency",
+    )

@@ -1,0 +1,263 @@
+"""The experiment workbench ("Lab") shared by all figure reproductions.
+
+A :class:`Lab` owns the platform models, trains (and caches) one
+predictive controller per application, and runs (app, governor, budget)
+combinations with deterministic seeding.  Every experiment module under
+:mod:`repro.analysis.experiments` drives a Lab, so benchmarks, examples,
+and tests share one code path.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+
+from repro.governors.base import Governor
+from repro.governors.conservative import ConservativeGovernor
+from repro.governors.idle import IdlePolicy
+from repro.governors.interactive import InteractiveGovernor
+from repro.governors.ondemand import OndemandGovernor
+from repro.governors.oracle import OracleGovernor
+from repro.governors.performance import PerformanceGovernor
+from repro.governors.pid import PidGovernor
+from repro.governors.powersave import PowersaveGovernor
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.offline import TrainedController, build_controller
+from repro.platform.board import Board
+from repro.platform.jitter import LogNormalJitter, NoJitter
+from repro.platform.opp import OppTable, default_xu3_a7_table
+from repro.platform.power import PowerModel
+from repro.platform.switching import SwitchLatencyModel
+from repro.programs.interpreter import Interpreter
+from repro.runtime.executor import TaskLoopRunner
+from repro.runtime.placement import PredictorPlacement
+from repro.runtime.records import RunResult
+from repro.workloads.base import InteractiveApp
+from repro.workloads.registry import get_app
+
+__all__ = ["Lab", "GOVERNOR_NAMES", "default_n_jobs"]
+
+#: Governor identifiers accepted by :meth:`Lab.run`.
+GOVERNOR_NAMES = (
+    "performance",
+    "powersave",
+    "ondemand",
+    "conservative",
+    "interactive",
+    "pid",
+    "prediction",
+    "oracle",
+)
+
+#: Jobs per evaluation run.  pocketsphinx jobs are seconds long, so fewer
+#: of them keep simulated sessions comparable in wall-clock cost.
+_DEFAULT_N_JOBS = 250
+_SLOW_APP_N_JOBS = {"pocketsphinx": 40}
+
+
+def default_n_jobs(app_name: str) -> int:
+    """Evaluation job count for an application."""
+    return _SLOW_APP_N_JOBS.get(app_name, _DEFAULT_N_JOBS)
+
+
+@dataclass(frozen=True)
+class _RunKey:
+    app: str
+    governor: str
+    budget_ms: float
+    n_jobs: int
+    idle: bool
+    charge_predictor: bool
+    charge_switch: bool
+    placement: PredictorPlacement
+
+
+class Lab:
+    """Caching experiment workbench.
+
+    Attributes:
+        opps: Operating points of the simulated platform.
+        pipeline_config: Offline-training configuration.
+        jitter_sigma: Run-to-run timing noise for evaluation runs.
+        seed: Base seed; every run derives its own streams from it.
+    """
+
+    def __init__(
+        self,
+        opps: OppTable | None = None,
+        pipeline_config: PipelineConfig | None = None,
+        jitter_sigma: float = 0.02,
+        seed: int = 42,
+        switch_samples: int = 100,
+        power: PowerModel | None = None,
+    ):
+        self.opps = opps if opps is not None else default_xu3_a7_table()
+        self.power = power
+        self.pipeline_config = (
+            pipeline_config if pipeline_config is not None else PipelineConfig()
+        )
+        self.jitter_sigma = jitter_sigma
+        self.seed = seed
+        self.interpreter = Interpreter()
+        self.switch_table = SwitchLatencyModel(
+            self.opps, seed=seed
+        ).microbenchmark(samples_per_pair=switch_samples)
+        self._controllers: dict[tuple, TrainedController] = {}
+        self._apps: dict[str, InteractiveApp] = {}
+        self._run_cache: dict[_RunKey, RunResult] = {}
+
+    # -- construction helpers ---------------------------------------------------
+    def app(self, name: str) -> InteractiveApp:
+        """The named application (cached: program state is per-run anyway)."""
+        if name not in self._apps:
+            self._apps[name] = get_app(name)
+        return self._apps[name]
+
+    def controller(
+        self, app_name: str, config: PipelineConfig | None = None
+    ) -> TrainedController:
+        """The trained predictive controller for an app (cached per config)."""
+        config = config if config is not None else self.pipeline_config
+        if app_name == "pocketsphinx" and config.n_profile_jobs > 80:
+            # Seconds-long jobs: a smaller profile keeps training tractable.
+            config = replace(config, n_profile_jobs=60)
+        key = (app_name, config)
+        if key not in self._controllers:
+            self._controllers[key] = build_controller(
+                self.app(app_name),
+                opps=self.opps,
+                config=config,
+                switch_table=self.switch_table,
+                interpreter=self.interpreter,
+            )
+        return self._controllers[key]
+
+    def make_governor(
+        self,
+        name: str,
+        app_name: str,
+        pipeline_config: PipelineConfig | None = None,
+    ) -> Governor:
+        """Instantiate a governor by name (trained on demand)."""
+        if name == "performance":
+            return PerformanceGovernor(self.opps)
+        if name == "powersave":
+            return PowersaveGovernor(self.opps)
+        if name == "ondemand":
+            return OndemandGovernor(self.opps)
+        if name == "conservative":
+            return ConservativeGovernor(self.opps)
+        if name == "interactive":
+            return InteractiveGovernor(self.opps)
+        if name == "pid":
+            return PidGovernor(self.opps)
+        if name == "oracle":
+            return OracleGovernor(self.opps)
+        if name == "prediction":
+            return self.controller(app_name, pipeline_config).governor(
+                self.interpreter
+            )
+        if name.startswith("prediction-batch"):
+            # §7 future-work controller: "prediction-batch8" -> batch of 8.
+            from repro.governors.batch import BatchPredictiveGovernor
+
+            batch_size = int(name[len("prediction-batch"):])
+            controller = self.controller(app_name, pipeline_config)
+            return BatchPredictiveGovernor(
+                slice=controller.slice,
+                predictor=controller.predictor,
+                dvfs=controller.dvfs,
+                switch_table=controller.switch_table,
+                interpreter=self.interpreter,
+                batch_size=batch_size,
+            )
+        raise ValueError(
+            f"unknown governor {name!r}; expected one of {GOVERNOR_NAMES} "
+            f"or 'prediction-batch<N>'"
+        )
+
+    def make_board(self, run_seed: int) -> Board:
+        """A fresh board with this Lab's noise level and a derived seed."""
+        jitter = (
+            LogNormalJitter(self.jitter_sigma, seed=run_seed)
+            if self.jitter_sigma > 0
+            else NoJitter()
+        )
+        return Board(
+            opps=self.opps,
+            power=self.power,
+            switcher=SwitchLatencyModel(self.opps, seed=run_seed),
+            jitter=jitter,
+        )
+
+    # -- running -------------------------------------------------------------------
+    def run(
+        self,
+        app_name: str,
+        governor_name: str,
+        budget_s: float | None = None,
+        n_jobs: int | None = None,
+        idle: bool = False,
+        charge_predictor: bool = True,
+        charge_switch: bool = True,
+        placement: PredictorPlacement = PredictorPlacement.SEQUENTIAL,
+        pipeline_config: PipelineConfig | None = None,
+        use_cache: bool = True,
+    ) -> RunResult:
+        """Run one (app, governor) combination.
+
+        Results are cached by their full parameter set; identical calls
+        across experiments (e.g. the performance baseline) are free.
+        """
+        app = self.app(app_name)
+        budget = budget_s if budget_s is not None else app.task.budget_s
+        jobs = n_jobs if n_jobs is not None else default_n_jobs(app_name)
+        key = _RunKey(
+            app=app_name,
+            governor=governor_name,
+            budget_ms=round(budget * 1e6),
+            n_jobs=jobs,
+            idle=idle,
+            charge_predictor=charge_predictor,
+            charge_switch=charge_switch,
+            placement=placement,
+        )
+        cacheable = use_cache and pipeline_config is None
+        if cacheable and key in self._run_cache:
+            return self._run_cache[key]
+
+        governor = self.make_governor(governor_name, app_name, pipeline_config)
+        # Derive a run seed that differs per configuration but is stable
+        # ACROSS PROCESSES (builtin hash() is salted per interpreter run).
+        run_seed = zlib.crc32(
+            f"{self.seed}|{app_name}|{governor_name}|{key.budget_ms}".encode()
+        )
+        board = self.make_board(run_seed)
+        runner = TaskLoopRunner(
+            board=board,
+            task=app.task.with_budget(budget),
+            governor=governor,
+            inputs=app.inputs(jobs, seed=self.seed),
+            interpreter=self.interpreter,
+            placement=placement,
+            idle_policy=IdlePolicy(enabled=idle),
+            charge_predictor=charge_predictor,
+            charge_switch=charge_switch,
+            provide_oracle_work=(governor_name == "oracle"),
+        )
+        result = runner.run()
+        if cacheable:
+            self._run_cache[key] = result
+        return result
+
+    def normalized_energy(
+        self, result: RunResult, app_name: str, budget_s: float | None = None
+    ) -> float:
+        """Energy relative to the performance governor at the same budget."""
+        reference = self.run(
+            app_name,
+            "performance",
+            budget_s=budget_s if budget_s is not None else result.budget_s,
+            n_jobs=result.n_jobs,
+        )
+        return result.energy_relative_to(reference)

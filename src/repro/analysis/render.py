@@ -1,0 +1,81 @@
+"""ASCII rendering of experiment results (tables, series, heatmaps).
+
+The paper reports results as figures; a terminal reproduction reports the
+same data as aligned text tables so diffs and logs stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_heatmap", "format_bar"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Align ``rows`` under ``headers``; floats get 2 decimals."""
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_heatmap(
+    matrix: Sequence[Sequence[float]],
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str | None = None,
+    fmt: str = "{:.0f}",
+) -> str:
+    """A labelled numeric grid (e.g. the Fig. 11 switch-time matrix)."""
+    if len(matrix) != len(row_labels):
+        raise ValueError("row label count does not match matrix")
+    cells = [[fmt.format(v) for v in row] for row in matrix]
+    for row in cells:
+        if len(row) != len(col_labels):
+            raise ValueError("column label count does not match matrix")
+    label_w = max(len(label) for label in row_labels)
+    col_ws = [
+        max(len(col_labels[j]), max(len(row[j]) for row in cells))
+        for j in range(len(col_labels))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " " * label_w
+        + "  "
+        + "  ".join(c.rjust(w) for c, w in zip(col_labels, col_ws))
+    )
+    for label, row in zip(row_labels, cells):
+        lines.append(
+            label.ljust(label_w)
+            + "  "
+            + "  ".join(v.rjust(w) for v, w in zip(row, col_ws))
+        )
+    return "\n".join(lines)
+
+
+def format_bar(value: float, scale: float, width: int = 40) -> str:
+    """A proportional text bar, for quick visual comparison in logs."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    filled = int(round(width * min(value / scale, 1.0)))
+    return "#" * filled + "." * (width - filled)

@@ -1,0 +1,156 @@
+"""Command-line interface: reproduce any table or figure from a shell.
+
+Usage::
+
+    python -m repro list                 # what can be reproduced
+    python -m repro table2               # one experiment
+    python -m repro fig15 fig21          # several
+    python -m repro all                  # everything (minutes)
+    python -m repro fig16 --app sha      # figure-specific options
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+import time
+from typing import Callable
+
+from repro.analysis.harness import Lab
+from repro.analysis import experiments as exp
+
+__all__ = ["main"]
+
+_EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "table2": ("Job-time statistics at fmax", exp.table2_job_stats),
+    "fig2": ("ldecode per-job time trace", exp.fig02_trace),
+    "fig3": ("PID expected-vs-actual lag", exp.fig03_pid_lag),
+    "fig9": ("Execution time vs 1/frequency", exp.fig09_linearity),
+    "fig11": ("DVFS switch-time matrix", exp.fig11_switching),
+    "fig15": ("Energy and misses, 4 governors x 8 apps", exp.fig15_energy_misses),
+    "fig16": ("Budget sweep", exp.fig16_budget_sweep),
+    "fig17": ("Predictor and switch overheads", exp.fig17_overheads),
+    "fig18": ("Limit study (overheads removed, oracle)", exp.fig18_limit_study),
+    "fig19": ("Prediction-error box plots", exp.fig19_prediction_error),
+    "fig20": ("Under-predict penalty sweep", exp.fig20_alpha_sweep),
+    "fig21": ("Idling between jobs", exp.fig21_idling),
+    "breakdown": ("Energy by activity (extra)", exp.energy_breakdown),
+    "robustness": ("Headline across seeds (extra)", exp.robustness),
+    "crossplatform": ("Feature stability across platforms (§4.2)",
+                      exp.cross_platform),
+}
+
+_ALIASES = {f"fig0{n}": f"fig{n}" for n in (2, 3, 9)}
+
+
+def _list_experiments() -> str:
+    lines = ["available experiments:"]
+    for name, (description, _) in _EXPERIMENTS.items():
+        lines.append(f"  {name:8s} {description}")
+    lines.append("  all      run everything above")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables/figures from 'Prediction-Guided "
+            "Performance-Energy Trade-off for Interactive Applications' "
+            "(MICRO 2015) on the simulated platform."
+        ),
+        epilog=_list_experiments(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names (see list below), 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--app",
+        default=None,
+        help="app for single-app figures (fig2, fig3, fig9, fig16, fig20)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="override jobs per run"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="base evaluation seed"
+    )
+    parser.add_argument(
+        "--jitter", type=float, default=0.02, help="timing-noise sigma"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="also write each experiment's table (<name>.txt) and raw "
+        "result (<name>.json) into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    requested = [_ALIASES.get(e, e) for e in args.experiments]
+    if "list" in requested:
+        print(_list_experiments())
+        return 0
+    if "all" in requested:
+        requested = list(_EXPERIMENTS)
+    unknown = [e for e in requested if e not in _EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}\n", file=sys.stderr)
+        print(_list_experiments(), file=sys.stderr)
+        return 2
+
+    output_dir = None
+    if args.output is not None:
+        output_dir = pathlib.Path(args.output)
+        output_dir.mkdir(parents=True, exist_ok=True)
+
+    lab = Lab(jitter_sigma=args.jitter, seed=args.seed)
+    for name in requested:
+        _, module = _EXPERIMENTS[name]
+        kwargs = {}
+        if args.jobs is not None:
+            kwargs["n_jobs"] = args.jobs
+        if args.app is not None and name in (
+            "fig2", "fig3", "fig9", "fig16", "fig20"
+        ):
+            key = "app" if name == "fig2" else "app_name"
+            kwargs[key] = args.app
+        started = time.time()
+        result = module.run(lab, **kwargs)
+        rendered = module.render(result)
+        print(rendered)
+        print(f"[{name} took {time.time() - started:.1f}s]\n")
+        if output_dir is not None:
+            (output_dir / f"{name}.txt").write_text(rendered + "\n")
+            (output_dir / f"{name}.json").write_text(_result_json(result))
+    return 0
+
+
+def _result_json(result) -> str:
+    """Best-effort JSON for an experiment result dataclass."""
+    def default(value):
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return dataclasses.asdict(value)
+        if isinstance(value, (set, frozenset)):
+            return sorted(value)
+        if isinstance(value, float) and value != value:  # NaN
+            return None
+        return str(value)
+
+    payload = (
+        dataclasses.asdict(result)
+        if dataclasses.is_dataclass(result) and not isinstance(result, type)
+        else result
+    )
+    return json.dumps(payload, default=default)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

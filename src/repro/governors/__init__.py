@@ -1,0 +1,29 @@
+"""DVFS governors: stock Linux baselines, PID, prediction-based, oracle."""
+
+from repro.governors.base import Decision, Governor, JobContext
+from repro.governors.batch import BatchPredictiveGovernor
+from repro.governors.conservative import ConservativeGovernor
+from repro.governors.idle import IdlePolicy
+from repro.governors.interactive import InteractiveGovernor
+from repro.governors.ondemand import OndemandGovernor
+from repro.governors.oracle import OracleGovernor
+from repro.governors.performance import PerformanceGovernor
+from repro.governors.pid import PidGovernor
+from repro.governors.powersave import PowersaveGovernor
+from repro.governors.predictive import PredictiveGovernor
+
+__all__ = [
+    "Decision",
+    "Governor",
+    "JobContext",
+    "BatchPredictiveGovernor",
+    "ConservativeGovernor",
+    "IdlePolicy",
+    "InteractiveGovernor",
+    "OndemandGovernor",
+    "OracleGovernor",
+    "PerformanceGovernor",
+    "PidGovernor",
+    "PowersaveGovernor",
+    "PredictiveGovernor",
+]

@@ -1,0 +1,101 @@
+"""Governor interface.
+
+A governor is the policy half of DVFS control.  The runtime executor owns
+the mechanism (switching, timing, energy accounting) and consults the
+governor at three moments:
+
+- :meth:`Governor.decide` — before each job runs, with the job's inputs
+  and live program state available.  Prediction-based control does its
+  work here.  Returning ``None`` means "no opinion" (utilization-driven
+  governors decide on timers instead).
+- :meth:`Governor.on_timer` — on a fixed sampling period (when
+  :attr:`Governor.timer_period_s` is set), with the CPU utilization of
+  the elapsed window.  This is how the Linux governors operate.
+- :meth:`Governor.on_job_end` — after each job, with its record.  History-
+  based controllers (PID) learn here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.platform.board import Board
+from repro.platform.cpu import Work
+from repro.platform.opp import OperatingPoint
+from repro.programs.expr import Value
+
+if TYPE_CHECKING:  # avoid a circular import with the runtime package
+    from repro.runtime.records import JobRecord
+
+__all__ = ["JobContext", "Decision", "Governor"]
+
+
+@dataclass
+class Decision:
+    """A governor's choice for one job.
+
+    Attributes:
+        opp: Target operating point for the job.
+        predicted_time_s: The governor's estimate of the job's execution
+            time at ``opp`` (NaN when the policy does not predict).
+    """
+
+    opp: OperatingPoint
+    predicted_time_s: float = float("nan")
+
+
+@dataclass
+class JobContext:
+    """Everything a governor may inspect before a job runs.
+
+    Attributes:
+        index: Job number.
+        inputs: The job's input values (what a prediction slice reads).
+        task_globals: Live program state (read via isolated forks only).
+        budget_s: The job's time budget.
+        deadline_s: Absolute deadline.
+        board: The platform; governors may charge predictor time on it.
+        charge_overheads: When False (the Fig. 18 limit study), the
+            predictor must not charge its execution time or energy.
+        oracle_work: The job's true work — ONLY the oracle governor may
+            read this; every other policy must ignore it.
+    """
+
+    index: int
+    inputs: Mapping[str, Value]
+    task_globals: dict
+    budget_s: float
+    deadline_s: float
+    board: Board
+    charge_overheads: bool = True
+    oracle_work: Work | None = None
+
+
+class Governor(ABC):
+    """Base class for DVFS policies."""
+
+    #: Sampling period for utilization-driven policies; None disables timers.
+    timer_period_s: float | None = None
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier used in results and plots."""
+
+    def start(self, board: Board, budget_s: float) -> None:
+        """One-time setup before the first job (e.g. initial frequency)."""
+
+    @abstractmethod
+    def decide(self, ctx: JobContext) -> Decision | None:
+        """Frequency decision for the job about to run (None = no opinion)."""
+
+    def on_timer(
+        self, now_s: float, utilization: float
+    ) -> OperatingPoint | None:
+        """Periodic utilization sample; return a new OPP or None."""
+        return None
+
+    def on_job_end(self, record: "JobRecord", ctx: JobContext) -> None:
+        """Observe a completed job (history-based policies learn here)."""

@@ -1,0 +1,59 @@
+"""A Linux ``conservative``-style governor.
+
+The classic gradual sibling of ``ondemand``: instead of sprinting to
+fmax on load, it steps the frequency up or down ONE level per sampling
+period.  Completes the stock-governor family for ablations; like the
+others it is deadline-blind.
+"""
+
+from __future__ import annotations
+
+from repro.governors.base import Decision, Governor, JobContext
+from repro.platform.opp import OperatingPoint, OppTable
+
+__all__ = ["ConservativeGovernor"]
+
+
+class ConservativeGovernor(Governor):
+    """Sampled governor: one-step ramps in both directions."""
+
+    def __init__(
+        self,
+        opps: OppTable,
+        sample_period_s: float = 0.080,
+        up_threshold: float = 0.70,
+        down_threshold: float = 0.30,
+    ):
+        if sample_period_s <= 0:
+            raise ValueError("sample_period_s must be positive")
+        if not 0 < down_threshold < up_threshold <= 1:
+            raise ValueError("need 0 < down_threshold < up_threshold <= 1")
+        self.opps = opps
+        self.sample_period_s = sample_period_s
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.timer_period_s = sample_period_s
+        self._board = None
+
+    @property
+    def name(self) -> str:
+        return "conservative"
+
+    def start(self, board, budget_s: float) -> None:
+        """Remember the board so timers can read the current level."""
+        self._board = board
+
+    def decide(self, ctx: JobContext) -> Decision | None:
+        """Jobs are invisible; all decisions happen on the timer."""
+        return None
+
+    def on_timer(
+        self, now_s: float, utilization: float
+    ) -> OperatingPoint | None:
+        """Step one level toward the load, never further."""
+        current = self._board.current_opp if self._board else self.opps.fmax
+        if utilization > self.up_threshold and current.index < len(self.opps) - 1:
+            return self.opps[current.index + 1]
+        if utilization < self.down_threshold and current.index > 0:
+            return self.opps[current.index - 1]
+        return None

@@ -1,0 +1,37 @@
+"""Idling policy: drop to minimum frequency between jobs (paper §5.5).
+
+Idling is orthogonal to the governor choice — the paper evaluates every
+controller with and without it (Fig. 21).  The runtime executor applies
+it: when a job finishes early, switch to fmin for the gap and restore the
+pre-idle level at the next arrival (unless the governor overrides with
+its own decision, which prediction-based control always does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IdlePolicy"]
+
+
+@dataclass(frozen=True)
+class IdlePolicy:
+    """Configuration of between-job idling.
+
+    Attributes:
+        enabled: Whether to drop to fmin between jobs at all.
+        min_gap_s: Gaps shorter than this are not worth two DVFS
+            switches; stay at the current level.  The default (4 ms)
+            is roughly twice the typical switch latency.
+    """
+
+    enabled: bool = False
+    min_gap_s: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.min_gap_s < 0:
+            raise ValueError("min_gap_s must be non-negative")
+
+    def should_idle(self, gap_s: float) -> bool:
+        """Whether a gap of ``gap_s`` seconds warrants dropping to fmin."""
+        return self.enabled and gap_s > self.min_gap_s

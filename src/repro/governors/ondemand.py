@@ -1,0 +1,56 @@
+"""A Linux ``ondemand``-style governor, for ablation completeness.
+
+Samples utilization like ``interactive`` but ramps differently: jump to
+fmax above the up-threshold, otherwise step *down* one level at a time
+when utilization is comfortably low.  Not a paper baseline; included
+because DESIGN.md calls for the family of stock governors.
+"""
+
+from __future__ import annotations
+
+from repro.governors.base import Decision, Governor, JobContext
+from repro.platform.opp import OperatingPoint, OppTable
+
+__all__ = ["OndemandGovernor"]
+
+
+class OndemandGovernor(Governor):
+    """Sampled governor: sprint to fmax, decay one step at a time."""
+
+    def __init__(
+        self,
+        opps: OppTable,
+        sample_period_s: float = 0.080,
+        up_threshold: float = 0.80,
+        down_threshold: float = 0.40,
+    ):
+        if sample_period_s <= 0:
+            raise ValueError("sample_period_s must be positive")
+        if not 0 < down_threshold < up_threshold <= 1:
+            raise ValueError("need 0 < down_threshold < up_threshold <= 1")
+        self.opps = opps
+        self.sample_period_s = sample_period_s
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.timer_period_s = sample_period_s
+        self._board = None
+
+    @property
+    def name(self) -> str:
+        return "ondemand"
+
+    def start(self, board, budget_s: float) -> None:
+        self._board = board
+
+    def decide(self, ctx: JobContext) -> Decision | None:
+        return None
+
+    def on_timer(
+        self, now_s: float, utilization: float
+    ) -> OperatingPoint | None:
+        current = self._board.current_opp if self._board else self.opps.fmax
+        if utilization > self.up_threshold:
+            return self.opps.fmax
+        if utilization < self.down_threshold and current.index > 0:
+            return self.opps[current.index - 1]
+        return None

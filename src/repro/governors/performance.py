@@ -1,0 +1,32 @@
+"""The Linux ``performance`` governor: always maximum frequency.
+
+This is the paper's energy baseline — every energy figure is normalized
+to a run under this governor.
+"""
+
+from __future__ import annotations
+
+from repro.governors.base import Decision, Governor, JobContext
+from repro.platform.board import Board
+from repro.platform.opp import OppTable
+
+__all__ = ["PerformanceGovernor"]
+
+
+class PerformanceGovernor(Governor):
+    """Pins the CPU at fmax for the whole run."""
+
+    def __init__(self, opps: OppTable):
+        self.opps = opps
+
+    @property
+    def name(self) -> str:
+        return "performance"
+
+    def start(self, board: Board, budget_s: float) -> None:
+        board.set_frequency(self.opps.fmax)
+
+    def decide(self, ctx: JobContext) -> Decision | None:
+        if ctx.board.current_opp != self.opps.fmax:
+            return Decision(self.opps.fmax)
+        return None

@@ -1,0 +1,33 @@
+"""The Linux ``powersave`` governor: always minimum frequency.
+
+Not evaluated in the paper's figures, but the natural lower bound on
+power (and upper bound on misses); useful for sanity checks and
+ablations.
+"""
+
+from __future__ import annotations
+
+from repro.governors.base import Decision, Governor, JobContext
+from repro.platform.board import Board
+from repro.platform.opp import OppTable
+
+__all__ = ["PowersaveGovernor"]
+
+
+class PowersaveGovernor(Governor):
+    """Pins the CPU at fmin for the whole run."""
+
+    def __init__(self, opps: OppTable):
+        self.opps = opps
+
+    @property
+    def name(self) -> str:
+        return "powersave"
+
+    def start(self, board: Board, budget_s: float) -> None:
+        board.set_frequency(self.opps.fmin)
+
+    def decide(self, ctx: JobContext) -> Decision | None:
+        if ctx.board.current_opp != self.opps.fmin:
+            return Decision(self.opps.fmin)
+        return None

@@ -1,0 +1,124 @@
+"""The paper's prediction-based DVFS controller.
+
+Per job (Fig. 6 / §3): run the prediction slice on the job's inputs and
+live program state to obtain control-flow features; map features to
+execution-time predictions at the anchor frequencies with the trained
+asymmetric-Lasso models; fit the per-job DVFS components; pick the lowest
+discrete frequency whose predicted time fits the *effective* budget —
+the budget minus the slice time already spent and a conservative
+(95th-percentile) estimate of the upcoming switch time (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.governors.base import Decision, Governor, JobContext
+from repro.models.dvfs import DvfsModel
+from repro.models.timing import ExecutionTimePredictor, TimePrediction
+from repro.platform.cpu import Work
+from repro.platform.switching import SwitchTimeTable
+from repro.programs.interpreter import Interpreter
+from repro.programs.slicer import PredictionSlice
+
+__all__ = ["SliceOutcome", "PredictiveGovernor"]
+
+
+@dataclass(frozen=True)
+class SliceOutcome:
+    """Result of running the prediction slice for one job.
+
+    Attributes:
+        slice_work: What the slice itself cost to run.
+        prediction: Margin-inflated anchor-time predictions.
+    """
+
+    slice_work: Work
+    prediction: TimePrediction
+
+
+class PredictiveGovernor(Governor):
+    """Slice -> execution-time model -> frequency (paper §3).
+
+    Attributes:
+        slice: The prediction slice extracted by the offline pipeline.
+        predictor: Trained execution-time predictor (both anchors).
+        dvfs: DVFS frequency-performance model.
+        switch_table: 95th-percentile switch times from the
+            microbenchmark; used to shrink the effective budget.
+        interpreter: Executes the slice (isolated) at run time.
+    """
+
+    def __init__(
+        self,
+        slice: PredictionSlice,
+        predictor: ExecutionTimePredictor,
+        dvfs: DvfsModel,
+        switch_table: SwitchTimeTable,
+        interpreter: Interpreter | None = None,
+    ):
+        self.slice = slice
+        self.predictor = predictor
+        self.dvfs = dvfs
+        self.switch_table = switch_table
+        self.interpreter = interpreter if interpreter is not None else Interpreter()
+
+    @property
+    def name(self) -> str:
+        return "prediction"
+
+    def analyze(self, ctx: JobContext) -> SliceOutcome:
+        """Run the prediction slice (pure: charges nothing on the board).
+
+        The slice executes with isolated globals so its writes cannot
+        corrupt task state (paper §3.2).  The executor decides where the
+        slice's cost lands — sequential, pipelined, or parallel placement
+        (paper §4.3, Fig. 14).
+        """
+        slice_result = self.interpreter.execute_isolated(
+            self.slice.program, ctx.inputs, ctx.task_globals
+        )
+        return SliceOutcome(
+            slice_work=slice_result.work,
+            prediction=self.predictor.predict(slice_result.features),
+        )
+
+    def switch_estimate_s(self, ctx: JobContext) -> float:
+        """Conservative estimate of the upcoming DVFS switch (Fig. 10).
+
+        The target level is unknown until after the decision, so take the
+        95th-percentile time of the worst switch out of the current level.
+        """
+        return max(
+            self.switch_table.time_s(ctx.board.current_opp, end)
+            for end in self.dvfs.opps
+        )
+
+    def choose(
+        self, outcome: SliceOutcome, effective_budget_s: float
+    ) -> Decision:
+        """Lowest discrete frequency whose predicted time fits the budget."""
+        prediction = outcome.prediction
+        opp = self.dvfs.choose_opp(
+            prediction.t_fmin_s, prediction.t_fmax_s, effective_budget_s
+        )
+        components = self.dvfs.components(
+            prediction.t_fmin_s, prediction.t_fmax_s
+        )
+        return Decision(opp, predicted_time_s=components.time_at(opp.freq_hz))
+
+    def decide(self, ctx: JobContext) -> Decision | None:
+        """Sequential placement: slice, charge its time, then choose."""
+        board = ctx.board
+        outcome = self.analyze(ctx)
+        if ctx.charge_overheads:
+            slice_time = board.cpu.execution_time(
+                outcome.slice_work, board.current_opp
+            )
+            board.busy_run(slice_time, tag="predictor")
+            effective_budget = (
+                ctx.deadline_s - board.now - self.switch_estimate_s(ctx)
+            )
+        else:
+            effective_budget = ctx.deadline_s - board.now
+        return self.choose(outcome, effective_budget)

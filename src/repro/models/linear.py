@@ -1,0 +1,50 @@
+"""Ordinary least squares baseline model.
+
+The paper contrasts its asymmetric objective with plain least squares
+("it weighs negative and positive errors equally").  OLS is kept as a
+baseline so the ablation benchmarks can show what the asymmetric penalty
+buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OlsModel"]
+
+
+class OlsModel:
+    """Least-squares linear model ``y = x . coef + intercept``."""
+
+    def __init__(self):
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.coef_ is not None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "OlsModel":
+        """Fit with numpy's lstsq (minimum-norm solution when singular)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.shape != (X.shape[0],):
+            raise ValueError(f"incompatible shapes X{X.shape}, y{y.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        design = np.hstack([X, np.ones((X.shape[0], 1))])
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.coef_ = solution[:-1]
+        self.intercept_ = float(solution[-1])
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted targets for rows of ``X``."""
+        if self.coef_ is None:
+            raise RuntimeError("OlsModel used before fit()")
+        X = np.asarray(X, dtype=float)
+        return X @ self.coef_ + self.intercept_
+
+    def predict_one(self, x: np.ndarray) -> float:
+        """Predicted target for a single feature vector."""
+        return float(self.predict(np.asarray(x, dtype=float).reshape(1, -1))[0])

@@ -1,0 +1,108 @@
+"""Polynomial feature expansion (paper §3.3 / §3.5 extension).
+
+The paper uses a linear model and notes that "higher-order or
+non-polynomial models may provide better accuracy" but found "relatively
+little gain to be had from improved prediction" (§5.3).  This module
+provides the degree-2 expansion so that claim can be tested rather than
+assumed: squares and pairwise products of the base features, with exact
+bookkeeping of which base columns each term involves (needed to map model
+sparsity back to program slicing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PolynomialExpansion"]
+
+
+class PolynomialExpansion:
+    """Degree-2 expansion: x -> [x, x_i * x_j for i <= j].
+
+    The expansion must be fitted (to learn the base column count) before
+    transforming; terms are deterministic and ordered: all base columns
+    first, then products in lexicographic (i, j) order.
+    """
+
+    def __init__(self, degree: int = 2):
+        if degree not in (1, 2):
+            raise ValueError(f"only degrees 1 and 2 are supported, got {degree}")
+        self.degree = degree
+        self._terms: list[tuple[int, ...]] | None = None
+        self._n_base: int | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._terms is not None
+
+    @property
+    def n_terms(self) -> int:
+        self._require_fitted()
+        assert self._terms is not None
+        return len(self._terms)
+
+    @property
+    def terms(self) -> list[tuple[int, ...]]:
+        """Base-column index tuples, one per output term."""
+        self._require_fitted()
+        assert self._terms is not None
+        return list(self._terms)
+
+    def fit(self, n_columns: int) -> "PolynomialExpansion":
+        """Lay out the term list for ``n_columns`` base features."""
+        if n_columns < 1:
+            raise ValueError("need at least one base column")
+        terms: list[tuple[int, ...]] = [(i,) for i in range(n_columns)]
+        if self.degree >= 2:
+            for i in range(n_columns):
+                for j in range(i, n_columns):
+                    terms.append((i, j))
+        self._terms = terms
+        self._n_base = n_columns
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Expand an (n_samples, n_base) matrix to (n_samples, n_terms)."""
+        self._require_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self._n_base:
+            raise ValueError(
+                f"expected (n, {self._n_base}) matrix, got shape {X.shape}"
+            )
+        assert self._terms is not None
+        columns = []
+        for term in self._terms:
+            col = np.ones(X.shape[0])
+            for index in term:
+                col = col * X[:, index]
+            columns.append(col)
+        return np.stack(columns, axis=1)
+
+    def transform_one(self, x: np.ndarray) -> np.ndarray:
+        """Expand a single feature vector."""
+        return self.transform(np.asarray(x, dtype=float).reshape(1, -1))[0]
+
+    def base_mask(self, term_mask) -> np.ndarray:
+        """Base columns involved in any selected term.
+
+        This is how expanded-model sparsity maps back to the feature
+        sites the prediction slice must compute: a base column survives
+        if ANY selected term touches it.
+        """
+        self._require_fitted()
+        term_mask = np.asarray(term_mask, dtype=bool)
+        if term_mask.shape != (self.n_terms,):
+            raise ValueError(
+                f"term mask length {term_mask.shape} != n_terms {self.n_terms}"
+            )
+        assert self._terms is not None and self._n_base is not None
+        mask = np.zeros(self._n_base, dtype=bool)
+        for term, selected in zip(self._terms, term_mask):
+            if selected:
+                for index in term:
+                    mask[index] = True
+        return mask
+
+    def _require_fitted(self) -> None:
+        if self._terms is None:
+            raise RuntimeError("PolynomialExpansion used before fit()")

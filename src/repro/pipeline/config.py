@@ -1,0 +1,60 @@
+"""Configuration of the offline controller-generation pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of the offline flow (paper defaults unless noted).
+
+    Attributes:
+        alpha: Under-prediction penalty weight; the paper sweeps
+            {1, 10, 100, 1000} and settles on 100 (§5.4, Fig. 20).
+        gamma_rel: Relative L1 sparsity weight.  The absolute gamma fed to
+            the solver is ``gamma_rel * n_samples * mean(y)``, making the
+            knob meaningful across apps whose job times differ by three
+            orders of magnitude.
+        margin: Safety margin on predicted times (§3.4: 10%).
+        model_degree: Execution-time model order — 1 is the paper's
+            linear model; 2 adds squares/products (§3.5 extension).
+        n_profile_jobs: Jobs profiled per app for training.
+        profile_seed: Seed for the profiling input script (distinct from
+            evaluation seeds — train and test inputs differ, as on the
+            real system).
+        profile_jitter_sigma: Timing-noise level during profiling.
+        switch_samples: Samples per (start, end) pair for the switch-time
+            microbenchmark (Fig. 11).
+        max_iter: Solver iteration cap.
+        slice_marshal_base_instr: Fixed slice start-up cost (instruction
+            count) modelling the local-copy side-effect protection the
+            paper's slices perform (§3.2) — this is what makes predictor
+            execution time non-trivial (Fig. 17).
+        slice_marshal_per_var_instr: Additional copy cost per variable the
+            slice retains.
+    """
+
+    alpha: float = 100.0
+    gamma_rel: float = 1e-2
+    margin: float = 0.10
+    model_degree: int = 1
+    n_profile_jobs: int = 200
+    profile_seed: int = 1_000_003
+    profile_jitter_sigma: float = 0.02
+    switch_samples: int = 200
+    max_iter: int = 5000
+    slice_marshal_base_instr: float = 80_000.0
+    slice_marshal_per_var_instr: float = 6_000.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if self.gamma_rel < 0:
+            raise ValueError("gamma_rel must be non-negative")
+        if self.margin < 0:
+            raise ValueError("margin must be non-negative")
+        if self.n_profile_jobs < 2:
+            raise ValueError("need at least two profiling jobs")

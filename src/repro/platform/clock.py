@@ -1,0 +1,45 @@
+"""Virtual time.
+
+Everything in the simulation runs against a :class:`VirtualClock`; nothing
+reads the wall clock.  This makes every experiment exactly reproducible and
+lets a multi-minute interactive session simulate in milliseconds.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock, in seconds."""
+
+    def __init__(self, start_s: float = 0.0):
+        if start_s < 0:
+            raise ValueError(f"start time must be non-negative, got {start_s}")
+        self._now = start_s
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, duration_s: float) -> float:
+        """Move time forward by ``duration_s`` seconds; returns the new time.
+
+        Raises:
+            ValueError: If ``duration_s`` is negative — simulated time never
+                runs backwards.
+        """
+        if duration_s < 0:
+            raise ValueError(f"cannot advance by negative time {duration_s}")
+        self._now += duration_s
+        return self._now
+
+    def advance_to(self, time_s: float) -> float:
+        """Jump forward to an absolute time (no-op if already past it)."""
+        if time_s > self._now:
+            self._now = time_s
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f}s)"

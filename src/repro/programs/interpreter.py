@@ -1,0 +1,231 @@
+"""Interpreter: executes a task program, producing Work and features.
+
+Execution has two observable outputs:
+
+- :class:`repro.platform.cpu.Work` — how much frequency-dependent and
+  memory-bound work the job performed (this is what the simulated CPU
+  turns into time and energy);
+- :class:`RawFeatures` — the control-flow feature counters, populated only
+  for nodes marked ``counted`` by the instrumenter (counting costs extra
+  instructions, exactly like real counter increments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.platform.cpu import Work
+from repro.programs.env import Environment
+from repro.programs.expr import Value
+from repro.programs.ir import (
+    ASSIGN_COST,
+    BRANCH_COST,
+    CALL_DISPATCH_COST,
+    COUNTER_COST,
+    LOOP_ITER_COST,
+    Assign,
+    Block,
+    Hint,
+    If,
+    IndirectCall,
+    Loop,
+    Program,
+    Seq,
+    Stmt,
+    While,
+)
+
+__all__ = ["RawFeatures", "ExecutionResult", "Interpreter"]
+
+
+@dataclass
+class RawFeatures:
+    """Per-execution control-flow feature record.
+
+    Attributes:
+        counters: site label -> count (branch-taken and loop-iteration
+            features).
+        call_addresses: site label -> addresses observed at that indirect
+            call site, in call order (one-hot encoded downstream).
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    call_addresses: dict[str, list[int]] = field(default_factory=dict)
+
+    def bump(self, site: str, amount: float = 1.0) -> None:
+        """Increment a counter feature (branch taken / loop trips)."""
+        self.counters[site] = self.counters.get(site, 0.0) + amount
+
+    def set_value(self, site: str, value: float) -> None:
+        """Record a gauge feature (absolute reading; hints use this)."""
+        self.counters[site] = value
+
+    def record_call(self, site: str, address: int) -> None:
+        """Record an observed call-target address at a call site."""
+        self.call_addresses.setdefault(site, []).append(address)
+
+    def counter(self, site: str) -> float:
+        """Counter value for a site (0.0 when the site never fired)."""
+        return self.counters.get(site, 0.0)
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Everything one execution of a program produced."""
+
+    work: Work
+    features: RawFeatures
+    env: Environment
+
+
+class Interpreter:
+    """Executes statement trees.
+
+    Attributes:
+        cycles_per_instruction: CPI of the modelled core (A7 in-order: ~1).
+        mem_seconds_per_ref: Seconds of non-overlapped memory time per
+            memory reference (builds the ``T_mem`` term of the DVFS model).
+    """
+
+    def __init__(
+        self,
+        cycles_per_instruction: float = 1.0,
+        mem_seconds_per_ref: float = 80e-9,
+    ):
+        if cycles_per_instruction <= 0:
+            raise ValueError("cycles_per_instruction must be positive")
+        if mem_seconds_per_ref < 0:
+            raise ValueError("mem_seconds_per_ref must be non-negative")
+        self.cycles_per_instruction = cycles_per_instruction
+        self.mem_seconds_per_ref = mem_seconds_per_ref
+
+    def execute(
+        self,
+        program: Program,
+        inputs: Mapping[str, Value],
+        globals_: dict[str, Value] | None = None,
+    ) -> ExecutionResult:
+        """Run one job of ``program`` with the given inputs.
+
+        Args:
+            program: The task to execute.
+            inputs: Per-job input values.
+            globals_: Persistent global state, mutated in place.  Pass the
+                same dict across jobs to model evolving program state; by
+                default each call gets fresh globals.
+
+        Returns:
+            The work performed, features counted, and the final environment.
+        """
+        if globals_ is None:
+            globals_ = program.fresh_globals()
+        env = Environment(inputs, globals_)
+        features = RawFeatures()
+        state = _Accumulator()
+        self._run(program.body, env, features, state)
+        work = Work(
+            cycles=state.instructions * self.cycles_per_instruction,
+            mem_time_s=state.mem_refs * self.mem_seconds_per_ref,
+        )
+        return ExecutionResult(work=work, features=features, env=env)
+
+    def execute_isolated(
+        self,
+        program: Program,
+        inputs: Mapping[str, Value],
+        globals_: dict[str, Value],
+    ) -> ExecutionResult:
+        """Run with copy-on-fork globals: writes do not escape.
+
+        This is how prediction slices execute (paper §3.2): the slice reads
+        live program state but cannot corrupt it.
+        """
+        env = Environment(inputs, globals_).fork_isolated()
+        features = RawFeatures()
+        state = _Accumulator()
+        self._run(program.body, env, features, state)
+        work = Work(
+            cycles=state.instructions * self.cycles_per_instruction,
+            mem_time_s=state.mem_refs * self.mem_seconds_per_ref,
+        )
+        return ExecutionResult(work=work, features=features, env=env)
+
+    # -- dispatch -----------------------------------------------------------
+    def _run(
+        self,
+        stmt: Stmt,
+        env: Environment,
+        features: RawFeatures,
+        state: "_Accumulator",
+    ) -> None:
+        if isinstance(stmt, Block):
+            state.instructions += stmt.instructions
+            state.mem_refs += stmt.mem_refs
+        elif isinstance(stmt, Assign):
+            state.instructions += stmt.cost
+            env.write(stmt.target, stmt.expr.evaluate(env))
+        elif isinstance(stmt, Seq):
+            for child in stmt.stmts:
+                self._run(child, env, features, state)
+        elif isinstance(stmt, If):
+            state.instructions += BRANCH_COST
+            taken = bool(stmt.cond.evaluate(env))
+            if stmt.counted and taken:
+                state.instructions += COUNTER_COST
+                features.bump(stmt.site)
+            if taken:
+                self._run(stmt.then, env, features, state)
+            elif stmt.orelse is not None:
+                self._run(stmt.orelse, env, features, state)
+        elif isinstance(stmt, Loop):
+            trips = int(stmt.count.evaluate(env))
+            trips = max(0, min(trips, stmt.max_trips))
+            if stmt.counted:
+                state.instructions += COUNTER_COST
+                features.bump(stmt.site, trips)
+            if stmt.elide_body:
+                return
+            for i in range(trips):
+                state.instructions += LOOP_ITER_COST
+                if stmt.loop_var is not None:
+                    env.write(stmt.loop_var, i)
+                self._run(stmt.body, env, features, state)
+        elif isinstance(stmt, While):
+            trips = 0
+            while trips < stmt.max_trips:
+                state.instructions += BRANCH_COST  # the condition check
+                if not stmt.cond.evaluate(env):
+                    break
+                state.instructions += LOOP_ITER_COST
+                self._run(stmt.body, env, features, state)
+                trips += 1
+            if stmt.counted:
+                state.instructions += COUNTER_COST
+                features.bump(stmt.site, trips)
+        elif isinstance(stmt, Hint):
+            state.instructions += stmt.cost
+            if stmt.counted:
+                state.instructions += COUNTER_COST
+                features.set_value(stmt.site, float(stmt.expr.evaluate(env)))
+        elif isinstance(stmt, IndirectCall):
+            state.instructions += CALL_DISPATCH_COST
+            address = int(stmt.target.evaluate(env))
+            if stmt.counted:
+                state.instructions += COUNTER_COST
+                features.record_call(stmt.site, address)
+            callee = stmt.table.get(address, stmt.default)
+            if callee is not None:
+                self._run(callee, env, features, state)
+        else:
+            raise TypeError(f"unknown statement type {type(stmt).__name__}")
+
+
+class _Accumulator:
+    """Mutable instruction/memory tally for one execution."""
+
+    __slots__ = ("instructions", "mem_refs")
+
+    def __init__(self):
+        self.instructions = 0.0
+        self.mem_refs = 0.0

@@ -1,0 +1,146 @@
+"""Structural validation of task programs.
+
+Run :func:`validate_program` once when a workload is constructed; it
+catches the mistakes that would otherwise surface as confusing behaviour
+deep inside a simulation (aliased feature sites, unbound variables,
+self-referential trees).
+"""
+
+from __future__ import annotations
+
+from repro.programs.expr import Expr
+from repro.programs.ir import (
+    Assign,
+    Block,
+    Hint,
+    If,
+    IndirectCall,
+    Loop,
+    Program,
+    Seq,
+    Stmt,
+    While,
+)
+
+__all__ = ["validate_program", "free_variables", "static_instruction_bound"]
+
+
+def validate_program(program: Program) -> None:
+    """Raise ``ValueError`` on structurally invalid programs.
+
+    Checks:
+    - control-site labels are unique;
+    - the statement tree is acyclic (no node is its own ancestor);
+    - every variable read is either an input (unknowable here, so only
+      *warn-level* checks apply), a global, a loop variable, or assigned
+      somewhere in the tree — a completely unbound name is a typo.
+    """
+    seen_sites: set[str] = set()
+    on_path: set[int] = set()
+
+    assigned: set[str] = set()
+    read: set[str] = set()
+
+    def visit(stmt: Stmt) -> None:
+        if id(stmt) in on_path:
+            raise ValueError(
+                f"cycle in statement tree of program {program.name!r}"
+            )
+        on_path.add(id(stmt))
+        site = getattr(stmt, "site", None)
+        if site is not None:
+            if site in seen_sites:
+                raise ValueError(
+                    f"duplicate control site {site!r} in {program.name!r}"
+                )
+            seen_sites.add(site)
+        if isinstance(stmt, Assign):
+            assigned.add(stmt.target)
+            read.update(stmt.expr.variables())
+        elif isinstance(stmt, If):
+            read.update(stmt.cond.variables())
+        elif isinstance(stmt, Loop):
+            read.update(stmt.count.variables())
+            if stmt.loop_var is not None:
+                assigned.add(stmt.loop_var)
+        elif isinstance(stmt, While):
+            read.update(stmt.cond.variables())
+        elif isinstance(stmt, IndirectCall):
+            read.update(stmt.target.variables())
+        elif isinstance(stmt, Hint):
+            read.update(stmt.expr.variables())
+        for child in stmt.children():
+            visit(child)
+        on_path.discard(id(stmt))
+
+    visit(program.body)
+
+
+def free_variables(program: Program) -> frozenset[str]:
+    """Variables the program reads but never assigns — its required inputs.
+
+    Globals initialised in ``globals_init`` are excluded: they are bound
+    at run time by the task's persistent state.
+    """
+    assigned: set[str] = set(program.globals_init)
+    read: set[str] = set()
+
+    def visit(stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            read.update(stmt.expr.variables())
+            assigned.add(stmt.target)
+        elif isinstance(stmt, If):
+            read.update(stmt.cond.variables())
+        elif isinstance(stmt, Loop):
+            read.update(stmt.count.variables())
+            if stmt.loop_var is not None:
+                assigned.add(stmt.loop_var)
+        elif isinstance(stmt, While):
+            read.update(stmt.cond.variables())
+        elif isinstance(stmt, IndirectCall):
+            read.update(stmt.target.variables())
+        elif isinstance(stmt, Hint):
+            read.update(stmt.expr.variables())
+        for child in stmt.children():
+            visit(child)
+
+    visit(program.body)
+    return frozenset(read - assigned)
+
+
+def static_instruction_bound(stmt: Stmt, loop_bound: int = 1) -> float:
+    """Crude static estimate of instructions, assuming ``loop_bound`` trips.
+
+    Used by tests and diagnostics to compare original-vs-slice static
+    size; not used by the controller itself.
+    """
+    if isinstance(stmt, Block):
+        return stmt.instructions
+    if isinstance(stmt, Assign):
+        return 2.0
+    if isinstance(stmt, Seq):
+        return sum(static_instruction_bound(s, loop_bound) for s in stmt.stmts)
+    if isinstance(stmt, If):
+        branches = [static_instruction_bound(stmt.then, loop_bound)]
+        if stmt.orelse is not None:
+            branches.append(static_instruction_bound(stmt.orelse, loop_bound))
+        return 1.0 + max(branches)
+    if isinstance(stmt, Loop):
+        if stmt.elide_body:
+            return 1.0
+        return 2.0 + loop_bound * static_instruction_bound(stmt.body, loop_bound)
+    if isinstance(stmt, IndirectCall):
+        costs = [
+            static_instruction_bound(callee, loop_bound)
+            for callee in stmt.table.values()
+        ]
+        if stmt.default is not None:
+            costs.append(static_instruction_bound(stmt.default, loop_bound))
+        return 4.0 + (max(costs) if costs else 0.0)
+    if isinstance(stmt, While):
+        return 2.0 + loop_bound * (
+            1.0 + static_instruction_bound(stmt.body, loop_bound)
+        )
+    if isinstance(stmt, Hint):
+        return stmt.cost
+    raise TypeError(f"unknown statement type {type(stmt).__name__}")

@@ -1,0 +1,340 @@
+"""The task-loop runner: executes jobs under a governor on a Board.
+
+This is the mechanism half of DVFS control.  Per job it:
+
+1. idles until the periodic release (optionally dropping to fmin for the
+   gap — the paper's §5.5 idling);
+2. consults the governor (running any prediction slice, with the chosen
+   placement mode);
+3. performs the DVFS switch, charged or free (the Fig. 18 limit study);
+4. executes the job's work, splitting it at utilization-timer boundaries
+   so sampled governors (interactive/ondemand) can retarget mid-job;
+5. records the job and reports it back to the governor.
+
+Timing noise: one multiplicative jitter factor is drawn per job from the
+board's jitter model, so a job's remaining work stays consistent when a
+mid-job frequency change re-times it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.governors.base import Decision, Governor, JobContext
+from repro.governors.idle import IdlePolicy
+from repro.governors.predictive import PredictiveGovernor
+from repro.platform.board import Board
+from repro.platform.cpu import Work
+from repro.platform.opp import OperatingPoint
+from repro.programs.expr import Value
+from repro.programs.interpreter import Interpreter
+from repro.runtime.placement import PredictorPlacement
+from repro.runtime.records import JobRecord, RunResult
+from repro.runtime.task import Task
+
+__all__ = ["TaskLoopRunner"]
+
+_EPS = 1e-12
+
+
+class TaskLoopRunner:
+    """Runs a task's job stream under one governor.
+
+    Attributes:
+        board: The simulated platform (owns time, energy, frequency).
+        task: The annotated task (program + budget).
+        governor: The DVFS policy under test.
+        inputs: Per-job input dicts, in release order.
+        interpreter: Executes the task program (job semantics + work).
+        placement: Predictor placement mode (only affects
+            :class:`~repro.governors.predictive.PredictiveGovernor`).
+        idle_policy: Between-job idling configuration (Fig. 21).
+        charge_predictor: Charge predictor time/energy (False for Fig. 18).
+        charge_switch: Charge DVFS switch time/energy (False for Fig. 18).
+        provide_oracle_work: Give governors the true per-job work
+            (required by the oracle governor only).
+    """
+
+    def __init__(
+        self,
+        board: Board,
+        task: Task,
+        governor: Governor,
+        inputs: Sequence[Mapping[str, Value]],
+        interpreter: Interpreter | None = None,
+        placement: PredictorPlacement = PredictorPlacement.SEQUENTIAL,
+        idle_policy: IdlePolicy | None = None,
+        charge_predictor: bool = True,
+        charge_switch: bool = True,
+        provide_oracle_work: bool = False,
+    ):
+        if not inputs:
+            raise ValueError("need at least one job input")
+        self.board = board
+        self.task = task
+        self.governor = governor
+        self.inputs = list(inputs)
+        self.interpreter = interpreter if interpreter is not None else Interpreter()
+        self.placement = placement
+        self.idle_policy = idle_policy if idle_policy is not None else IdlePolicy()
+        self.charge_predictor = charge_predictor
+        self.charge_switch = charge_switch
+        self.provide_oracle_work = provide_oracle_work
+        # Timer state for utilization-sampled governors.
+        self._timer_period = governor.timer_period_s
+        self._next_timer = (
+            self._timer_period if self._timer_period is not None else None
+        )
+        self._window_busy_s = 0.0
+        # Energy of predictor work overlapped with job execution (pipelined
+        # placement) — the timeline is single-threaded, so overlap is
+        # accounted separately and folded into the result.
+        self._overlap_energy_j = 0.0
+        self._switches = 0
+        # Level to restore after an idling dip to fmin, when the governor
+        # itself has no opinion at the next job start.
+        self._restore_opp: OperatingPoint | None = None
+
+    # -- public API -----------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute every job; return the aggregated result."""
+        period = self.task.budget_s
+        self.governor.start(self.board, self.task.budget_s)
+        task_globals = self.task.program.fresh_globals()
+        records: list[JobRecord] = []
+
+        for index, job_inputs in enumerate(self.inputs):
+            arrival = index * period
+            self._wait_for_arrival(arrival)
+            records.append(
+                self._run_one_job(index, arrival, job_inputs, task_globals)
+            )
+
+        energy_by_tag = {
+            tag: self.board.energy_j(tag)
+            for tag in ("job", "predictor", "switch", "idle")
+        }
+        energy_by_tag["predictor"] += self._overlap_energy_j
+        return RunResult(
+            governor=self.governor.name,
+            app=self.task.name,
+            budget_s=self.task.budget_s,
+            jobs=records,
+            energy_j=self.board.energy_j() + self._overlap_energy_j,
+            energy_by_tag=energy_by_tag,
+            switch_count=self._switches,
+        )
+
+    # -- per-job orchestration -------------------------------------------------
+    def _run_one_job(
+        self,
+        index: int,
+        arrival: float,
+        job_inputs: Mapping[str, Value],
+        task_globals: dict,
+    ) -> JobRecord:
+        board = self.board
+        deadline = arrival + self.task.budget_s
+        start = board.now
+
+        oracle_work = None
+        if self.provide_oracle_work:
+            oracle_work = self.interpreter.execute_isolated(
+                self.task.program, job_inputs, task_globals
+            ).work
+
+        ctx = JobContext(
+            index=index,
+            inputs=job_inputs,
+            task_globals=task_globals,
+            budget_s=self.task.budget_s,
+            deadline_s=deadline,
+            board=board,
+            charge_overheads=self.charge_predictor,
+            oracle_work=oracle_work,
+        )
+
+        # The job's true semantics: run the program against live globals.
+        # The governor decision happens first (its slice must see pre-job
+        # state), so compute the work on an isolated fork here and commit
+        # the state change after the decision.
+        work = self.interpreter.execute_isolated(
+            self.task.program, job_inputs, task_globals
+        ).work
+        jitter = board.cpu.jitter.sample()
+
+        predictor_time, decision, partial_exec, remaining = self._decide(
+            ctx, work, jitter
+        )
+        target = decision.opp if decision is not None else self._restore_opp
+        self._restore_opp = None
+
+        switch_time = 0.0
+        if target is not None and target.index != board.current_opp.index:
+            switch_time = self._switch(target)
+
+        opp_mhz = board.current_opp.freq_mhz
+        exec_time, mid_switch, _ = self._execute_work(
+            work, jitter, remaining=remaining
+        )
+        end = board.now
+
+        # Commit the job's state change to the live globals.
+        self.interpreter.execute(self.task.program, job_inputs, task_globals)
+
+        record = JobRecord(
+            index=index,
+            arrival_s=arrival,
+            start_s=start,
+            end_s=end,
+            deadline_s=deadline,
+            opp_mhz=opp_mhz,
+            exec_time_s=exec_time + partial_exec,
+            predictor_time_s=predictor_time,
+            switch_time_s=switch_time + mid_switch,
+            predicted_time_s=(
+                decision.predicted_time_s if decision is not None else float("nan")
+            ),
+        )
+        self.governor.on_job_end(record, ctx)
+        return record
+
+    def _decide(
+        self, ctx: JobContext, work: Work, jitter: float
+    ) -> tuple[float, Decision | None, float, float]:
+        """Run the governor's decision under the configured placement.
+
+        Returns (predictor_time_charged, decision, job_seconds_already_run,
+        fraction_of_job_remaining).
+        """
+        board = self.board
+        predictive = isinstance(self.governor, PredictiveGovernor)
+        if not predictive or self.placement is PredictorPlacement.SEQUENTIAL:
+            before = board.now
+            decision = self.governor.decide(ctx)
+            self._fire_due_timers()
+            return board.now - before, decision, 0.0, 1.0
+
+        governor: PredictiveGovernor = self.governor
+        outcome = governor.analyze(ctx)
+        slice_time = board.cpu.execution_time(
+            outcome.slice_work, board.current_opp
+        )
+
+        if self.placement is PredictorPlacement.PIPELINED:
+            # The slice ran during the previous job: no budget impact, but
+            # its energy was still spent (on overlapped cycles).
+            if self.charge_predictor:
+                self._overlap_energy_j += (
+                    board.power.power(board.current_opp, 1.0) * slice_time
+                )
+                budget = (
+                    ctx.deadline_s
+                    - board.now
+                    - governor.switch_estimate_s(ctx)
+                )
+            else:
+                budget = ctx.deadline_s - board.now
+            return 0.0, governor.choose(outcome, budget), 0.0, 1.0
+
+        # PARALLEL: the job starts at the old level while the slice runs.
+        if self.charge_predictor:
+            partial, _, remaining = self._execute_work(
+                work, jitter, max_duration=slice_time
+            )
+            self._overlap_energy_j += (
+                board.power.power(board.current_opp, 1.0) * slice_time
+            )
+            budget = (
+                ctx.deadline_s - board.now - governor.switch_estimate_s(ctx)
+            )
+            return slice_time, governor.choose(outcome, budget), partial, remaining
+        return 0.0, governor.choose(outcome, ctx.deadline_s - board.now), 0.0, 1.0
+
+    # -- mechanism helpers -------------------------------------------------------
+    def _switch(self, target: OperatingPoint) -> float:
+        """Perform a DVFS switch, charged or free per configuration."""
+        if target.index == self.board.current_opp.index:
+            return 0.0
+        self._switches += 1
+        if self.charge_switch:
+            return self.board.set_frequency(target)
+        self.board.set_frequency_free(target)
+        return 0.0
+
+    def _wait_for_arrival(self, arrival: float) -> None:
+        """Idle (with timers and optional fmin idling) until release time."""
+        board = self.board
+        gap = arrival - board.now
+        if gap <= 0:
+            return
+        if self.idle_policy.should_idle(gap):
+            self._restore_opp = board.current_opp
+            self._switch(board.opps.fmin)
+        while board.now < arrival - _EPS:
+            chunk_end = arrival
+            if self._next_timer is not None:
+                chunk_end = min(chunk_end, self._next_timer)
+            board.idle_until(chunk_end)
+            self._fire_due_timers()
+
+    def _execute_work(
+        self,
+        work: Work,
+        jitter: float,
+        remaining: float = 1.0,
+        max_duration: float | None = None,
+    ) -> tuple[float, float, float]:
+        """Run (part of) a job's work at the prevailing frequencies.
+
+        Work progresses as a fraction of the whole job; a mid-job
+        frequency change re-times the remaining fraction at the new
+        level.  Returns (busy seconds spent, mid-job switch seconds,
+        fraction of the job still remaining).
+
+        Args:
+            work: The job's total work.
+            jitter: This job's timing-noise factor.
+            remaining: Fraction of the job still to run (a parallel-
+                placement partial execution passes its leftover here).
+            max_duration: Stop after this much busy time (parallel
+                placement runs the job for exactly the slice duration).
+        """
+        board = self.board
+        spent = 0.0
+        switch_spent = 0.0
+        while remaining > _EPS:
+            total = jitter * board.cpu.ideal_time(work, board.current_opp)
+            if total <= _EPS:
+                break
+            time_left = remaining * total
+            chunk = time_left
+            if max_duration is not None:
+                chunk = min(chunk, max_duration - spent)
+                if chunk <= _EPS:
+                    break
+            if self._next_timer is not None:
+                chunk = min(chunk, max(self._next_timer - board.now, _EPS))
+            board.busy_run(chunk, tag="job")
+            self._window_busy_s += chunk
+            spent += chunk
+            remaining -= chunk / total
+            switch_spent += self._fire_due_timers()
+            if max_duration is not None and spent >= max_duration - _EPS:
+                break
+        return spent, switch_spent, max(remaining, 0.0)
+
+    def _fire_due_timers(self) -> float:
+        """Deliver any due utilization samples; returns switch time spent."""
+        if self._next_timer is None or self._timer_period is None:
+            return 0.0
+        switch_time = 0.0
+        while self.board.now >= self._next_timer - _EPS:
+            utilization = min(1.0, self._window_busy_s / self._timer_period)
+            target = self.governor.on_timer(self._next_timer, utilization)
+            self._window_busy_s = 0.0
+            self._next_timer += self._timer_period
+            if target is not None and target.index != self.board.current_opp.index:
+                switch_time += self._switch(target)
+        return switch_time

@@ -1,0 +1,27 @@
+"""Predictor placement modes (paper §4.3, Fig. 14).
+
+- SEQUENTIAL: the slice runs just before its job; its time comes out of
+  the job's budget.  The paper's default (slice times were small).
+- PIPELINED: the predictor for job i+1 runs during job i, so the decision
+  is ready at job start with no budget impact — valid only when the next
+  job's inputs are known a job in advance (periodic, input-independent
+  tasks).
+- PARALLEL: the slice runs concurrently with the start of its own job at
+  the old frequency; the switch happens once the decision is ready.  The
+  budget still shrinks by the slice time, but the job makes progress
+  during prediction.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["PredictorPlacement"]
+
+
+class PredictorPlacement(Enum):
+    """How the DVFS predictor overlaps with job execution."""
+
+    SEQUENTIAL = "sequential"
+    PIPELINED = "pipelined"
+    PARALLEL = "parallel"

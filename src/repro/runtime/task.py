@@ -1,0 +1,38 @@
+"""Task annotation: a program plus its response-time requirement.
+
+This is the programmer-facing annotation of the paper's Fig. 12
+(``#pragma start_task 50ms``): identify the task and its time budget.
+Jobs are periodic releases of the task, one per budget period (a 50 ms
+budget models a 20 FPS frame task; 33 ms models 30 FPS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.programs.ir import Program
+
+__all__ = ["Task"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """An annotated task.
+
+    Attributes:
+        name: Task identifier.
+        program: The task body in the mini IR.
+        budget_s: Response-time requirement per job, seconds.
+    """
+
+    name: str
+    program: Program
+    budget_s: float
+
+    def __post_init__(self) -> None:
+        if self.budget_s <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget_s}")
+
+    def with_budget(self, budget_s: float) -> "Task":
+        """Same task with a different time budget (for budget sweeps)."""
+        return Task(self.name, self.program, budget_s)

@@ -1,0 +1,5 @@
+"""The paper's eight interactive benchmarks, re-modelled in the mini IR."""
+
+from repro.workloads.base import InteractiveApp, JobTimeStats
+
+__all__ = ["InteractiveApp", "JobTimeStats"]

@@ -1,0 +1,85 @@
+"""Workload base types.
+
+Each of the paper's eight benchmarks is re-modelled as an
+:class:`InteractiveApp`: a task program in the mini IR whose control flow
+(and therefore execution time) depends on job inputs and program state,
+plus a deterministic input generator that reproduces the statistical
+shape of Table 2 (min / avg / max job time at maximum frequency).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.programs.expr import Value
+from repro.programs.ir import Block
+from repro.runtime.task import Task
+
+__all__ = ["JobTimeStats", "InteractiveApp", "compute", "rng_for"]
+
+#: Instructions per off-core memory reference in compute kernels.  At the
+#: default interpreter/CPU constants this puts ~7% of fmax execution time
+#: in the frequency-independent T_mem term — matching the mild memory
+#: sensitivity the paper's Fig. 9 line shows for these benchmarks.
+_INSTRUCTIONS_PER_MEM_REF = 1500.0
+
+
+def compute(instructions: float, name: str = "") -> Block:
+    """A compute kernel block with a proportional memory footprint."""
+    return Block(
+        instructions=instructions,
+        mem_refs=instructions / _INSTRUCTIONS_PER_MEM_REF,
+        name=name,
+    )
+
+
+@dataclass(frozen=True)
+class JobTimeStats:
+    """Table-2 job-time statistics at max frequency, in milliseconds."""
+
+    min_ms: float
+    avg_ms: float
+    max_ms: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_ms <= self.avg_ms <= self.max_ms:
+            raise ValueError(
+                f"need 0 <= min <= avg <= max, got {self}"
+            )
+
+
+@dataclass(frozen=True)
+class InteractiveApp:
+    """One benchmark application.
+
+    Attributes:
+        task: The annotated task (program + default budget, per the
+            paper's §5.2 choices: 50 ms, or 4 s for pocketsphinx).
+        description: What the task models (Table 2's description column).
+        generate_inputs: ``(n_jobs, seed) -> list of input dicts``;
+            deterministic given the seed, like the paper's scripted user
+            inputs ("to ensure consistency across runs").
+        paper_stats: Table 2 job-time statistics this app is calibrated to.
+    """
+
+    task: Task
+    description: str
+    generate_inputs: Callable[[int, int], list[Mapping[str, Value]]]
+    paper_stats: JobTimeStats
+
+    @property
+    def name(self) -> str:
+        return self.task.name
+
+    def inputs(self, n_jobs: int, seed: int = 0) -> list[Mapping[str, Value]]:
+        """Scripted inputs for ``n_jobs`` jobs (deterministic per seed)."""
+        if n_jobs <= 0:
+            raise ValueError(f"n_jobs must be positive, got {n_jobs}")
+        return self.generate_inputs(n_jobs, seed)
+
+
+def rng_for(seed: int, salt: str) -> random.Random:
+    """A private stream per (seed, app): apps never share random state."""
+    return random.Random(f"{salt}:{seed}")

@@ -1,0 +1,115 @@
+"""curseofwar — real-time strategy game (one game-loop iteration per job).
+
+The widest dynamic range in Table 2 (0.02–37.2 ms): most ticks update a
+handful of units; combat ticks run flood-fill influence recomputation
+over contested cells and a full map redraw.  Some ticks are nearly empty
+(no dirty state, no redraw).
+
+Table 2 targets: min 0.02 ms, avg 6.2 ms, max 37.2 ms at fmax.
+"""
+
+from __future__ import annotations
+
+from repro.programs.expr import Compare, Const, Var
+from repro.programs.ir import Assign, If, Loop, Program, Seq
+from repro.runtime.task import Task
+from repro.workloads.base import InteractiveApp, JobTimeStats, compute, rng_for
+
+__all__ = ["make_app"]
+
+_TICK_POLL = 18_000
+_UNIT_UPDATE = 16_000
+_COMBAT_CELL = 52_000
+_MAP_ROW_REDRAW = 110_000
+_AI_PLAN = 800_000
+
+MAP_ROWS = 32
+
+
+def build_program() -> Program:
+    body = Seq(
+        [
+            compute(_TICK_POLL, "poll_events"),
+            If(
+                "tick_active",
+                Compare("==", Var("active"), Const(1)),
+                Seq(
+                    [
+                        Loop(
+                            "units",
+                            Var("n_units"),
+                            compute(_UNIT_UPDATE, "unit_update"),
+                        ),
+                        If(
+                            "ai_turn",
+                            Compare("==", Var("ai_turn"), Const(1)),
+                            compute(_AI_PLAN, "ai_planning"),
+                        ),
+                        Loop(
+                            "combat",
+                            Var("n_combat_cells"),
+                            compute(_COMBAT_CELL, "combat_cell"),
+                        ),
+                        If(
+                            "redraw",
+                            Compare("==", Var("redraw"), Const(1)),
+                            Loop(
+                                "map_rows",
+                                Const(MAP_ROWS),
+                                compute(_MAP_ROW_REDRAW, "redraw_row"),
+                            ),
+                        ),
+                        Assign("tick", Var("tick") + Const(1)),
+                    ]
+                ),
+            ),
+        ]
+    )
+    return Program(name="curseofwar", body=body, globals_init={"tick": 0})
+
+
+def generate_inputs(n_jobs: int, seed: int = 0) -> list[dict]:
+    """Campaign script: quiet spells, unit build-up, and combat flare-ups."""
+    rng = rng_for(seed, "curseofwar")
+    jobs = []
+    n_units = 40
+    battle = 0.0
+    for i in range(n_jobs):
+        # Idle ticks: nothing dirty, instantly done.
+        if rng.random() < 0.12:
+            jobs.append(
+                {
+                    "active": 0,
+                    "n_units": 0,
+                    "ai_turn": 0,
+                    "n_combat_cells": 0,
+                    "redraw": 0,
+                }
+            )
+            continue
+        n_units = max(10, min(420, n_units + rng.randint(-18, 22)))
+        # Battles ignite occasionally and decay over several ticks.
+        if rng.random() < 0.07:
+            battle = rng.uniform(0.5, 1.0)
+        n_combat_cells = int(820 * battle)
+        battle *= 0.72
+        jobs.append(
+            {
+                "active": 1,
+                "n_units": n_units,
+                "ai_turn": 1 if i % 8 == 0 else 0,
+                "n_combat_cells": n_combat_cells,
+                "redraw": 1 if (battle > 0.05 or i % 4 == 0) else 0,
+            }
+        )
+    return jobs
+
+
+def make_app() -> InteractiveApp:
+    """The curseofwar benchmark with the paper's 50 ms budget."""
+    return InteractiveApp(
+        task=Task("curseofwar", build_program(), budget_s=0.050),
+        description="Real-time strategy game — one game-loop iteration",
+        generate_inputs=generate_inputs,
+        paper_stats=JobTimeStats(min_ms=0.02, avg_ms=6.2, max_ms=37.2),
+    )

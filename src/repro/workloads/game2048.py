@@ -1,0 +1,117 @@
+"""2048 — puzzle game (update and render one turn per job).
+
+Per-turn work depends on which key the player pressed (a function-pointer
+dispatch into a direction handler), how many tiles slid and merged, and
+how many cells the renderer repaints.  Board occupancy is program state
+that grows and shrinks across turns.
+
+Table 2 targets: min 0.52 ms, avg 1.2 ms, max 2.1 ms at fmax.
+"""
+
+from __future__ import annotations
+
+from repro.programs.expr import Compare, Const, Var
+from repro.programs.ir import Assign, If, IndirectCall, Loop, Program, Seq
+from repro.runtime.task import Task
+from repro.workloads.base import InteractiveApp, JobTimeStats, compute, rng_for
+
+__all__ = ["make_app", "MOVE_HANDLER_BASE"]
+
+#: Function-pointer table base for the four direction handlers.
+MOVE_HANDLER_BASE = 0x4000
+
+_POLL_INPUT = 280_000
+_SLIDE_CELL = 70_000
+_MERGE = 130_000
+_SPAWN_TILE = 180_000
+_RENDER_CELL = 80_000
+_GAME_OVER_SCAN = 390_000
+
+
+def _direction_handler(direction: str):
+    """One slide direction: move every occupied cell, merge where equal."""
+    return Seq(
+        [
+            Loop(
+                f"slide_{direction}",
+                Var("n_moved"),
+                compute(_SLIDE_CELL, f"slide_{direction}_cell"),
+            ),
+            Loop(
+                f"merge_{direction}",
+                Var("n_merges"),
+                compute(_MERGE, f"merge_{direction}_pair"),
+            ),
+        ]
+    )
+
+
+def build_program() -> Program:
+    body = Seq(
+        [
+            compute(_POLL_INPUT, "poll_input"),
+            IndirectCall(
+                "move_handler",
+                Var("key") + Const(MOVE_HANDLER_BASE),
+                {
+                    MOVE_HANDLER_BASE + 0: _direction_handler("up"),
+                    MOVE_HANDLER_BASE + 1: _direction_handler("down"),
+                    MOVE_HANDLER_BASE + 2: _direction_handler("left"),
+                    MOVE_HANDLER_BASE + 3: _direction_handler("right"),
+                },
+            ),
+            If(
+                "did_spawn",
+                Compare("==", Var("spawn"), Const(1)),
+                compute(_SPAWN_TILE, "spawn_tile"),
+            ),
+            Loop(
+                "render",
+                Var("n_dirty"),
+                compute(_RENDER_CELL, "repaint_cell"),
+            ),
+            If(
+                "board_full",
+                Compare(">=", Var("occupancy"), Const(14)),
+                compute(_GAME_OVER_SCAN, "game_over_scan"),
+            ),
+            Assign("turn", Var("turn") + Const(1)),
+        ]
+    )
+    return Program(name="2048", body=body, globals_init={"turn": 0})
+
+
+def generate_inputs(n_jobs: int, seed: int = 0) -> list[dict]:
+    """A scripted play session: occupancy rises until merges clear tiles."""
+    rng = rng_for(seed, "2048")
+    occupancy = 2
+    jobs = []
+    for _ in range(n_jobs):
+        key = rng.randrange(4)
+        n_moved = rng.randint(1, max(2, occupancy))
+        merging = rng.random() < 0.45
+        n_merges = rng.randint(1, max(1, occupancy // 3)) if merging else 0
+        spawn = 1 if rng.random() < 0.9 else 0
+        n_dirty = min(16, n_moved + 2 * n_merges + spawn + rng.randint(1, 4))
+        jobs.append(
+            {
+                "key": key,
+                "n_moved": n_moved,
+                "n_merges": n_merges,
+                "spawn": spawn,
+                "n_dirty": n_dirty,
+                "occupancy": occupancy,
+            }
+        )
+        occupancy = max(2, min(16, occupancy + spawn - n_merges))
+    return jobs
+
+
+def make_app() -> InteractiveApp:
+    """The 2048 benchmark with the paper's 50 ms budget."""
+    return InteractiveApp(
+        task=Task("2048", build_program(), budget_s=0.050),
+        description="Puzzle game — update and render one turn",
+        generate_inputs=generate_inputs,
+        paper_stats=JobTimeStats(min_ms=0.52, avg_ms=1.2, max_ms=2.1),
+    )

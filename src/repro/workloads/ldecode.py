@@ -1,0 +1,104 @@
+"""ldecode — H.264 video decoder (decode one frame per job).
+
+The paper's flagship workload (Figs. 2, 3, 9, 20).  Per-frame work is
+dominated by the macroblock loop; frames differ in how many macroblocks
+were skipped vs. inter- vs. intra-coded, and every 30th frame is an
+I-frame (all-intra plus header work).  The input generator produces the
+smooth scene-complexity drift plus noise that gives Fig. 2 its shape.
+
+Table 2 targets: min 6.2 ms, avg 20.4 ms, max 32.5 ms at fmax.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.programs.expr import Compare, Const, Var
+from repro.programs.ir import Assign, If, Loop, Program, Seq
+from repro.runtime.task import Task
+from repro.workloads.base import InteractiveApp, JobTimeStats, compute, rng_for
+
+__all__ = ["make_app"]
+
+#: Macroblocks per frame (CIF-like geometry).
+MBS_PER_FRAME = 396
+
+# Per-macroblock decode kernels (instructions).
+_SKIP_MB = 3_000
+_INTER_MB = 82_000
+_INTRA_MB = 70_000
+_FRAME_SETUP = 900_000
+_IFRAME_EXTRA = 10_000_000
+_DEBLOCK_EDGE = 9_000
+
+
+def build_program() -> Program:
+    """The per-frame decode task."""
+    body = Seq(
+        [
+            # Bitstream/entropy setup for the frame.
+            compute(_FRAME_SETUP, "frame_setup"),
+            If(
+                "is_idr",
+                Compare("==", Var("frame_kind"), Const(1)),
+                compute(_IFRAME_EXTRA, "idr_headers"),
+            ),
+            # Macroblock decode, split by coding mode.
+            Loop("skip_mbs", Var("n_skip"), compute(_SKIP_MB, "skip_mb")),
+            Loop("inter_mbs", Var("n_inter"), compute(_INTER_MB, "inter_mb")),
+            Loop("intra_mbs", Var("n_intra"), compute(_INTRA_MB, "intra_mb")),
+            # In-loop deblocking across coded-block edges.
+            Assign("n_edges", (Var("n_inter") + Var("n_intra")) * Var("filter_strength")),
+            Loop("deblock", Var("n_edges"), compute(_DEBLOCK_EDGE, "deblock_edge")),
+            # Reference-frame bookkeeping.
+            Assign("frames_decoded", Var("frames_decoded") + Const(1)),
+        ]
+    )
+    return Program(
+        name="ldecode", body=body, globals_init={"frames_decoded": 0}
+    )
+
+
+def generate_inputs(n_jobs: int, seed: int = 0) -> list[dict]:
+    """Scene complexity drifts sinusoidally with noise; IDR every 30 frames.
+
+    Complexity c in [0, 1] sets how many macroblocks were actually coded;
+    the rest were skipped.  Intra share grows with motion.
+    """
+    rng = rng_for(seed, "ldecode")
+    jobs = []
+    for i in range(n_jobs):
+        drift = 0.5 + 0.32 * math.sin(2 * math.pi * i / 97.0)
+        c = min(1.0, max(0.0, drift + rng.gauss(0.0, 0.08)))
+        is_idr = 1 if i % 30 == 0 else 0
+        if is_idr:
+            n_intra = MBS_PER_FRAME
+            n_inter = 0
+            # Intra frames have no motion-compensated edges to smooth.
+            strength = 1
+        else:
+            coded = int(MBS_PER_FRAME * (0.18 + 0.78 * c))
+            n_intra = int(coded * (0.04 + 0.18 * c))
+            n_inter = coded - n_intra
+            strength = 1 + int(2.9 * c)
+        n_skip = MBS_PER_FRAME - n_inter - n_intra
+        jobs.append(
+            {
+                "frame_kind": is_idr,
+                "n_skip": n_skip,
+                "n_inter": n_inter,
+                "n_intra": n_intra,
+                "filter_strength": strength,
+            }
+        )
+    return jobs
+
+
+def make_app() -> InteractiveApp:
+    """The ldecode benchmark with the paper's 50 ms budget."""
+    return InteractiveApp(
+        task=Task("ldecode", build_program(), budget_s=0.050),
+        description="H.264 decoder — decode one frame",
+        generate_inputs=generate_inputs,
+        paper_stats=JobTimeStats(min_ms=6.2, avg_ms=20.4, max_ms=32.5),
+    )

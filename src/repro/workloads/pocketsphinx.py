@@ -1,0 +1,107 @@
+"""pocketsphinx — speech recognition (process one utterance per job).
+
+Work scales with utterance length (acoustic frames) and with how many
+GMM senones stay active per frame (harder audio keeps more hypotheses
+alive); a lattice rescoring pass at the end scales with word ends.  The
+paper gives this app a 4-second budget (user-waiting-for-response limit)
+instead of 50 ms.
+
+Table 2 targets: min 718 ms, avg 1661 ms, max 2951 ms at fmax.
+"""
+
+from __future__ import annotations
+
+from repro.programs.expr import Compare, Const, Var
+from repro.programs.ir import Assign, If, Loop, Program, Seq
+from repro.runtime.task import Task
+from repro.workloads.base import InteractiveApp, JobTimeStats, compute, rng_for
+
+__all__ = ["make_app"]
+
+_FRONTEND_FRAME = 320_000       # MFCC extraction per 10 ms frame
+_GMM_EVAL_UNIT = 300_000        # one batch of senone evaluations
+_HMM_PRUNE = 260_000            # Viterbi beam prune per frame
+_SILENCE_FRAME = 60_000         # frames below the VAD threshold
+_LATTICE_WORD = 1_400_000       # rescoring per word-end
+
+
+def build_program() -> Program:
+    body = Seq(
+        [
+            Loop(
+                "frames",
+                Var("n_frames"),
+                Seq(
+                    [
+                        compute(_FRONTEND_FRAME, "mfcc"),
+                        # Per-frame active-senone count: scanning the active
+                        # list is data-dependent work the prediction slice
+                        # must also perform — this is why the paper's
+                        # pocketsphinx predictor is far costlier than the
+                        # others (Fig. 17).
+                        Assign(
+                            "frame_senones",
+                            Var("senone_units")
+                            + (Var("frame_i") * Const(5)) % Const(7)
+                            - Const(3),
+                            cost=2_600,
+                        ),
+                        If(
+                            "voiced",
+                            Compare(">", Var("frame_senones"), Const(0)),
+                            Seq(
+                                [
+                                    Loop(
+                                        "senones",
+                                        Var("frame_senones"),
+                                        compute(_GMM_EVAL_UNIT, "gmm_eval"),
+                                    ),
+                                    compute(_HMM_PRUNE, "beam_prune"),
+                                ]
+                            ),
+                            compute(_SILENCE_FRAME, "silence"),
+                        ),
+                    ]
+                ),
+                loop_var="frame_i",
+            ),
+            Loop(
+                "lattice",
+                Var("n_word_ends"),
+                compute(_LATTICE_WORD, "lattice_rescore"),
+            ),
+            Assign("utterances", Var("utterances") + Const(1)),
+        ]
+    )
+    return Program(
+        name="pocketsphinx", body=body, globals_init={"utterances": 0}
+    )
+
+
+def generate_inputs(n_jobs: int, seed: int = 0) -> list[dict]:
+    """Utterances of varying length and acoustic difficulty."""
+    rng = rng_for(seed, "pocketsphinx")
+    jobs = []
+    for _ in range(n_jobs):
+        n_frames = rng.randint(280, 500)
+        difficulty = rng.uniform(0.35, 1.0)
+        senone_units = int(24 * difficulty)
+        n_word_ends = int(n_frames * difficulty * rng.uniform(0.05, 0.12))
+        jobs.append(
+            {
+                "n_frames": n_frames,
+                "senone_units": senone_units,
+                "n_word_ends": n_word_ends,
+            }
+        )
+    return jobs
+
+
+def make_app() -> InteractiveApp:
+    """The pocketsphinx benchmark with the paper's 4 s budget."""
+    return InteractiveApp(
+        task=Task("pocketsphinx", build_program(), budget_s=4.0),
+        description="Speech recognition — process one speech sample",
+        generate_inputs=generate_inputs,
+        paper_stats=JobTimeStats(min_ms=718.0, avg_ms=1661.0, max_ms=2951.0),
+    )

@@ -1,0 +1,58 @@
+"""Workload registry: name -> application factory.
+
+The eight benchmarks of the paper's Table 2, in its order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads import (
+    curseofwar,
+    game2048,
+    ldecode,
+    pocketsphinx,
+    rijndael,
+    sha,
+    uzbl,
+    xpilot,
+)
+from repro.workloads.base import InteractiveApp
+
+__all__ = ["APP_FACTORIES", "app_names", "get_app", "all_apps"]
+
+APP_FACTORIES: dict[str, Callable[[], InteractiveApp]] = {
+    "2048": game2048.make_app,
+    "curseofwar": curseofwar.make_app,
+    "ldecode": ldecode.make_app,
+    "pocketsphinx": pocketsphinx.make_app,
+    "rijndael": rijndael.make_app,
+    "sha": sha.make_app,
+    "uzbl": uzbl.make_app,
+    "xpilot": xpilot.make_app,
+}
+
+
+def app_names() -> list[str]:
+    """Benchmark names in Table-2 order."""
+    return list(APP_FACTORIES)
+
+
+def get_app(name: str) -> InteractiveApp:
+    """Build one benchmark by name.
+
+    Raises:
+        KeyError: For unknown names, listing the valid ones.
+    """
+    try:
+        factory = APP_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; available: {', '.join(APP_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def all_apps() -> list[InteractiveApp]:
+    """All eight benchmarks, freshly constructed."""
+    return [factory() for factory in APP_FACTORIES.values()]

@@ -1,0 +1,93 @@
+"""rijndael — AES encryption from MiBench (encrypt one buffer per job).
+
+Work is linear in the data size and in the round count, which the key
+length selects through a function-pointer dispatch (10, 12, or 14
+rounds for 128/192/256-bit keys) — a clean example of the paper's
+call-address features correlating with execution time.
+
+Table 2 targets: min 14.2 ms, avg 28.5 ms, max 43.6 ms at fmax.
+"""
+
+from __future__ import annotations
+
+from repro.programs.expr import Const, Var
+from repro.programs.ir import Assign, IndirectCall, Loop, Program, Seq
+from repro.runtime.task import Task
+from repro.workloads.base import InteractiveApp, JobTimeStats, compute, rng_for
+
+__all__ = ["make_app", "KEY_HANDLER_BASE"]
+
+#: Function-pointer table base for the key-schedule handlers.
+KEY_HANDLER_BASE = 0x8000
+
+_KEY_SCHEDULE_128 = 140_000
+_KEY_SCHEDULE_192 = 170_000
+_KEY_SCHEDULE_256 = 200_000
+_ROUND_PER_CHUNK = 230_000     # one AES round over a 16 KiB chunk
+_IO_PER_CHUNK = 40_000
+
+
+def build_program() -> Program:
+    body = Seq(
+        [
+            IndirectCall(
+                "key_schedule",
+                Var("key_kind") + Const(KEY_HANDLER_BASE),
+                {
+                    KEY_HANDLER_BASE + 0: Seq(
+                        [compute(_KEY_SCHEDULE_128, "ks128"), Assign("rounds", Const(10))]
+                    ),
+                    KEY_HANDLER_BASE + 1: Seq(
+                        [compute(_KEY_SCHEDULE_192, "ks192"), Assign("rounds", Const(12))]
+                    ),
+                    KEY_HANDLER_BASE + 2: Seq(
+                        [compute(_KEY_SCHEDULE_256, "ks256"), Assign("rounds", Const(14))]
+                    ),
+                },
+            ),
+            Loop(
+                "chunks",
+                Var("n_chunks"),
+                Seq(
+                    [
+                        compute(_IO_PER_CHUNK, "chunk_io"),
+                        Loop(
+                            "rounds_loop",
+                            Var("rounds"),
+                            compute(_ROUND_PER_CHUNK, "aes_round"),
+                        ),
+                    ]
+                ),
+            ),
+            Assign("buffers_done", Var("buffers_done") + Const(1)),
+        ]
+    )
+    return Program(
+        name="rijndael",
+        body=body,
+        globals_init={"buffers_done": 0, "rounds": 10},
+    )
+
+
+def generate_inputs(n_jobs: int, seed: int = 0) -> list[dict]:
+    """Buffers of 9–18 chunks under a rotating key policy."""
+    rng = rng_for(seed, "rijndael")
+    jobs = []
+    for _ in range(n_jobs):
+        jobs.append(
+            {
+                "n_chunks": rng.randint(9, 18),
+                "key_kind": rng.choice([0, 0, 1, 2]),  # 128-bit most common
+            }
+        )
+    return jobs
+
+
+def make_app() -> InteractiveApp:
+    """The rijndael (AES) benchmark with the paper's 50 ms budget."""
+    return InteractiveApp(
+        task=Task("rijndael", build_program(), budget_s=0.050),
+        description="AES — encrypt one piece of data",
+        generate_inputs=generate_inputs,
+        paper_stats=JobTimeStats(min_ms=14.2, avg_ms=28.5, max_ms=43.6),
+    )

@@ -1,0 +1,62 @@
+"""sha — SHA hashing from MiBench (hash one buffer per job).
+
+Work is linear in buffer size; buffers vary widely between jobs, so the
+chunk-loop trip count is an almost perfect execution-time feature.
+
+Table 2 targets: min 4.7 ms, avg 25.3 ms, max 46.0 ms at fmax.
+"""
+
+from __future__ import annotations
+
+from repro.programs.expr import Compare, Const, Var
+from repro.programs.ir import Assign, If, Loop, Program, Seq
+from repro.runtime.task import Task
+from repro.workloads.base import InteractiveApp, JobTimeStats, compute, rng_for
+
+__all__ = ["make_app"]
+
+_INIT = 90_000
+_CHUNK_COMPRESS = 240_000      # SHA compression over a 16 KiB chunk
+_FINALIZE = 160_000
+
+
+def build_program() -> Program:
+    body = Seq(
+        [
+            compute(_INIT, "init_state"),
+            Loop(
+                "chunks",
+                Var("n_chunks"),
+                compute(_CHUNK_COMPRESS, "compress"),
+            ),
+            If(
+                "finalize",
+                Compare("==", Var("finalize"), Const(1)),
+                compute(_FINALIZE, "finalize_digest"),
+            ),
+            Assign("digests", Var("digests") + Const(1)),
+        ]
+    )
+    return Program(name="sha", body=body, globals_init={"digests": 0})
+
+
+def generate_inputs(n_jobs: int, seed: int = 0) -> list[dict]:
+    """Buffer sizes roughly uniform over the Table-2 range."""
+    rng = rng_for(seed, "sha")
+    return [
+        {
+            "n_chunks": rng.randint(25, 245),
+            "finalize": 1 if rng.random() < 0.8 else 0,
+        }
+        for _ in range(n_jobs)
+    ]
+
+
+def make_app() -> InteractiveApp:
+    """The sha benchmark with the paper's 50 ms budget."""
+    return InteractiveApp(
+        task=Task("sha", build_program(), budget_s=0.050),
+        description="SHA — hash one piece of data",
+        generate_inputs=generate_inputs,
+        paper_stats=JobTimeStats(min_ms=4.7, avg_ms=25.3, max_ms=46.0),
+    )

@@ -1,0 +1,99 @@
+"""uzbl — web browser (execute one command per job).
+
+Commands dispatch through a handler table; almost all are trivial
+(keypresses), some scroll, and rare navigations re-parse and re-lay-out
+the page.  The page's DOM size is program state set by the last
+navigation, so a cheap command after a heavy page still repaints more —
+exactly the "event type" feature the paper notes its framework discovers
+automatically for the browser.
+
+Table 2 targets: min 0.04 ms, avg 2.2 ms, max 35.5 ms at fmax.
+"""
+
+from __future__ import annotations
+
+from repro.programs.expr import Const, Var
+from repro.programs.ir import Assign, IndirectCall, Loop, Program, Seq
+from repro.runtime.task import Task
+from repro.workloads.base import InteractiveApp, JobTimeStats, compute, rng_for
+
+__all__ = ["make_app", "COMMAND_BASE", "CMD_KEYPRESS", "CMD_SCROLL",
+           "CMD_REFRESH", "CMD_NAVIGATE"]
+
+#: Command-handler table base and command codes.
+COMMAND_BASE = 0xC000
+CMD_KEYPRESS = 0
+CMD_SCROLL = 1
+CMD_REFRESH = 2
+CMD_NAVIGATE = 3
+
+_KEYPRESS = 50_000
+_SCROLL_LINE = 34_000
+_PAINT_NODE = 15_000
+_PARSE_NODE = 27_000
+_LAYOUT_NODE = 16_000
+_NET_SETUP = 700_000
+
+
+def build_program() -> Program:
+    handlers = {
+        COMMAND_BASE + CMD_KEYPRESS: compute(_KEYPRESS, "keypress"),
+        COMMAND_BASE + CMD_SCROLL: Loop(
+            "scroll_lines", Var("n_lines"), compute(_SCROLL_LINE, "scroll_line")
+        ),
+        COMMAND_BASE + CMD_REFRESH: Loop(
+            "repaint", Var("dom_nodes"), compute(_PAINT_NODE, "paint_node")
+        ),
+        COMMAND_BASE + CMD_NAVIGATE: Seq(
+            [
+                compute(_NET_SETUP, "net_setup"),
+                Assign("dom_nodes", Var("page_size")),
+                Loop(
+                    "parse", Var("dom_nodes"), compute(_PARSE_NODE, "parse_node")
+                ),
+                Loop(
+                    "layout",
+                    Var("dom_nodes"),
+                    compute(_LAYOUT_NODE, "layout_node"),
+                ),
+            ]
+        ),
+    }
+    body = IndirectCall(
+        "command", Var("cmd") + Const(COMMAND_BASE), handlers
+    )
+    return Program(name="uzbl", body=body, globals_init={"dom_nodes": 300})
+
+
+def generate_inputs(n_jobs: int, seed: int = 0) -> list[dict]:
+    """A browsing session: typing, scrolling, occasional page loads."""
+    rng = rng_for(seed, "uzbl")
+    jobs = []
+    for _ in range(n_jobs):
+        roll = rng.random()
+        if roll < 0.62:
+            cmd = CMD_KEYPRESS
+        elif roll < 0.84:
+            cmd = CMD_SCROLL
+        elif roll < 0.96:
+            cmd = CMD_REFRESH
+        else:
+            cmd = CMD_NAVIGATE
+        jobs.append(
+            {
+                "cmd": cmd,
+                "n_lines": rng.randint(3, 40),
+                "page_size": rng.randint(250, 1200),
+            }
+        )
+    return jobs
+
+
+def make_app() -> InteractiveApp:
+    """The uzbl (browser) benchmark with the paper's 50 ms budget."""
+    return InteractiveApp(
+        task=Task("uzbl", build_program(), budget_s=0.050),
+        description="Web browser — execute one command",
+        generate_inputs=generate_inputs,
+        paper_stats=JobTimeStats(min_ms=0.04, avg_ms=2.2, max_ms=35.5),
+    )

@@ -1,0 +1,79 @@
+"""xpilot — 2D space game (one game-loop iteration per job).
+
+Per-tick work scales with live ships and bullets, with occasional
+explosion particle bursts and input-handling spikes.
+
+Table 2 targets: min 0.2 ms, avg 1.3 ms, max 3.1 ms at fmax.
+"""
+
+from __future__ import annotations
+
+from repro.programs.expr import Compare, Const, Var
+from repro.programs.ir import Assign, If, Loop, Program, Seq
+from repro.runtime.task import Task
+from repro.workloads.base import InteractiveApp, JobTimeStats, compute, rng_for
+
+__all__ = ["make_app"]
+
+_TICK_BASE = 130_000
+_SHIP_UPDATE = 165_000
+_BULLET_UPDATE = 32_000
+_EXPLOSION = 950_000
+_INPUT_HANDLING = 130_000
+_HUD_RENDER = 95_000
+
+
+def build_program() -> Program:
+    body = Seq(
+        [
+            compute(_TICK_BASE, "world_tick"),
+            If(
+                "has_input",
+                Compare("==", Var("has_input"), Const(1)),
+                compute(_INPUT_HANDLING, "handle_input"),
+            ),
+            Loop("ships", Var("n_ships"), compute(_SHIP_UPDATE, "ship")),
+            Loop(
+                "bullets", Var("n_bullets"), compute(_BULLET_UPDATE, "bullet")
+            ),
+            If(
+                "boom",
+                Compare("==", Var("explosion"), Const(1)),
+                compute(_EXPLOSION, "explosion_particles"),
+            ),
+            compute(_HUD_RENDER, "hud"),
+            Assign("tick", Var("tick") + Const(1)),
+        ]
+    )
+    return Program(name="xpilot", body=body, globals_init={"tick": 0})
+
+
+def generate_inputs(n_jobs: int, seed: int = 0) -> list[dict]:
+    """A dogfight: ships drift in/out, bullets fly in bursts."""
+    rng = rng_for(seed, "xpilot")
+    jobs = []
+    n_ships = 3
+    n_bullets = 0
+    for _ in range(n_jobs):
+        n_ships = max(1, min(9, n_ships + rng.choice([-1, 0, 0, 0, 1])))
+        firing = rng.random() < 0.4
+        n_bullets = max(0, min(60, n_bullets + (rng.randint(2, 9) if firing else -6)))
+        jobs.append(
+            {
+                "n_ships": n_ships,
+                "n_bullets": n_bullets,
+                "explosion": 1 if rng.random() < 0.06 else 0,
+                "has_input": 1 if rng.random() < 0.5 else 0,
+            }
+        )
+    return jobs
+
+
+def make_app() -> InteractiveApp:
+    """The xpilot benchmark with the paper's 50 ms budget."""
+    return InteractiveApp(
+        task=Task("xpilot", build_program(), budget_s=0.050),
+        description="2D space game — one game-loop iteration",
+        generate_inputs=generate_inputs,
+        paper_stats=JobTimeStats(min_ms=0.2, avg_ms=1.3, max_ms=3.1),
+    )

@@ -1,0 +1,90 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliBasics:
+    def test_list_prints_catalog(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table2", "fig15", "fig21"):
+            assert name in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_alias_fig02_resolves(self, capsys):
+        assert main(["fig02", "--jobs", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+
+
+class TestCliRuns:
+    def test_fig9_runs_fast_and_prints(self, capsys):
+        assert main(["fig9", "--jobs", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "linear fit" in out
+        assert "took" in out
+
+    def test_app_option_forwarded(self, capsys):
+        assert main(["fig2", "--app", "sha", "--jobs", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "sha" in out
+
+    def test_seed_option_changes_nothing_structural(self, capsys):
+        assert main(["fig11", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "switch times" in out
+
+
+class TestCliOutputDir:
+    def test_output_writes_txt_and_json(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert main(
+            ["fig9", "--jobs", "15", "--output", str(out_dir)]
+        ) == 0
+        capsys.readouterr()
+        text = (out_dir / "fig9.txt").read_text()
+        assert "linear fit" in text
+        payload = json.loads((out_dir / "fig9.json").read_text())
+        assert payload["app"] == "ldecode"
+        assert payload["r_squared"] > 0.99
+
+    def test_output_dir_created(self, tmp_path, capsys):
+        nested = tmp_path / "a" / "b"
+        assert main(
+            ["fig11", "--output", str(nested)]
+        ) == 0
+        capsys.readouterr()
+        assert (nested / "fig11.json").exists()
+
+
+class TestRunResultExport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.analysis.harness import Lab
+
+        return Lab(switch_samples=20).run("xpilot", "performance", n_jobs=10)
+
+    def test_to_json_roundtrips(self, result):
+        payload = json.loads(result.to_json())
+        assert payload["app"] == "xpilot"
+        assert payload["governor"] == "performance"
+        assert len(payload["jobs"]) == 10
+        assert payload["jobs"][0]["predicted_time_s"] is None  # NaN -> null
+
+    def test_csv_has_header_and_rows(self, result):
+        text = result.jobs_as_csv()
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("index,arrival_s")
+        assert len(lines) == 11
+
+    def test_jobs_as_dicts_flags_misses(self, result):
+        rows = result.jobs_as_dicts()
+        assert all(row["missed"] is False for row in rows)

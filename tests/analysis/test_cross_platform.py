@@ -1,0 +1,51 @@
+"""Tests for the cross-platform feature-stability experiment (§4.2)."""
+
+import pytest
+
+from repro.analysis.experiments import cross_platform
+from repro.analysis.harness import Lab
+
+
+@pytest.fixture(scope="module")
+def result():
+    lab = Lab(switch_samples=20)
+    return cross_platform.run(
+        lab, apps=("sha", "xpilot"), n_profile_jobs=60
+    )
+
+
+class TestCrossPlatform:
+    def test_every_platform_reported(self, result):
+        for app, per_platform in result.sites.items():
+            assert set(per_platform) == {"arm-a7", "arm-a15", "x86-i7"}
+
+    def test_sites_nonempty(self, result):
+        for per_platform in result.sites.values():
+            for sites in per_platform.values():
+                assert sites
+
+    def test_identity_check(self, result):
+        assert isinstance(result.identical("sha"), bool)
+        assert 0 <= result.n_identical <= 2
+
+    def test_simple_apps_select_identically(self, result):
+        """sha's dominant chunk-loop feature survives any platform."""
+        per_platform = result.sites["sha"]
+        assert result.identical("sha")
+        for sites in per_platform.values():
+            assert "chunks" in sites
+
+    def test_render_mentions_verdicts(self, result):
+        text = cross_platform.render(result)
+        assert "identical" in text or "differs" in text
+        assert "paper" in text
+
+    def test_platform_spec_interpreter(self):
+        spec = cross_platform.PLATFORMS[2]
+        interp = spec.interpreter()
+        assert interp.cycles_per_instruction == spec.cycles_per_instruction
+
+    def test_n_jobs_alias(self):
+        lab = Lab(switch_samples=20)
+        small = cross_platform.run(lab, apps=("xpilot",), n_jobs=40)
+        assert "xpilot" in small.sites

@@ -1,0 +1,151 @@
+"""Smoke + shape tests for every experiment module (small configurations).
+
+The benchmark harness runs the full-size versions; these tests verify the
+modules' logic and renderers quickly on reduced job counts.
+"""
+
+import pytest
+
+from repro.analysis.harness import Lab
+from repro.analysis.experiments import (
+    fig02_trace,
+    fig03_pid_lag,
+    fig09_linearity,
+    fig11_switching,
+    fig15_energy_misses,
+    fig16_budget_sweep,
+    fig17_overheads,
+    fig18_limit_study,
+    fig19_prediction_error,
+    fig20_alpha_sweep,
+    fig21_idling,
+    table2_job_stats,
+)
+
+SMALL_APPS = ("sha", "xpilot")
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return Lab(switch_samples=30)
+
+
+class TestTable2:
+    def test_rows_and_render(self, lab):
+        result = table2_job_stats.run(lab, n_jobs=40)
+        assert len(result.rows) == 8
+        text = table2_job_stats.render(result)
+        assert "ldecode" in text and "paper-avg" in text
+
+
+class TestFig02:
+    def test_trace_and_stats(self, lab):
+        result = fig02_trace.run(lab, app="ldecode", n_jobs=50)
+        assert len(result.times_ms) == 50
+        assert result.min_ms <= result.avg_ms <= result.max_ms
+        assert "profile" in fig02_trace.render(result)
+
+
+class TestFig03:
+    def test_lag_detected(self, lab):
+        result = fig03_pid_lag.run(lab, n_jobs=50)
+        assert result.lag_correlation > result.instant_correlation
+        assert "pid-expected" in fig03_pid_lag.render(result)
+
+
+class TestFig09:
+    def test_linearity(self, lab):
+        result = fig09_linearity.run(lab, n_jobs=40)
+        assert result.r_squared > 0.999
+        assert len(result.freqs_mhz) == len(lab.opps)
+        assert "linear fit" in fig09_linearity.render(result)
+
+
+class TestFig11:
+    def test_matrix(self, lab):
+        result = fig11_switching.run(lab)
+        assert len(result.matrix_us) == len(lab.opps)
+        assert result.worst_us > result.best_nonzero_us
+        assert "start freq" in fig11_switching.render(result)
+
+
+class TestFig15:
+    def test_matrix_and_averages(self, lab):
+        result = fig15_energy_misses.run(
+            lab, apps=SMALL_APPS, n_jobs=40
+        )
+        assert len(result.cells) == len(SMALL_APPS) * 4
+        assert result.cell("sha", "performance").energy_pct == pytest.approx(
+            100.0
+        )
+        assert result.average_energy_pct("prediction") < 100.0
+        assert "average" in fig15_energy_misses.render(result)
+
+    def test_unknown_cell_raises(self, lab):
+        result = fig15_energy_misses.run(lab, apps=("sha",), n_jobs=20)
+        with pytest.raises(KeyError):
+            result.cell("sha", "nope")
+
+
+class TestFig16:
+    def test_sweep_series(self, lab):
+        result = fig16_budget_sweep.run(
+            lab,
+            app_name="sha",
+            budget_factors=(0.8, 1.2),
+            n_jobs=40,
+        )
+        prediction = result.series("prediction")
+        assert [p.budget_factor for p in prediction] == [0.8, 1.2]
+        assert prediction[1].budget_ms > prediction[0].budget_ms
+        assert "norm.budget" in fig16_budget_sweep.render(result)
+
+
+class TestFig17:
+    def test_overheads_positive(self, lab):
+        result = fig17_overheads.run(lab, n_jobs=30)
+        assert len(result.rows) == 8
+        assert result.average_predictor_ms() > 0
+        assert "predictor[ms]" in fig17_overheads.render(result)
+
+
+class TestFig18:
+    def test_configs_monotone(self, lab):
+        result = fig18_limit_study.run(lab, n_jobs=30)
+        free = result.average_pct("w/o predictor+dvfs")
+        full = result.average_pct("prediction")
+        assert free <= full + 0.5
+        assert "oracle" in fig18_limit_study.render(result)
+
+
+class TestFig19:
+    def test_errors_skew_positive(self, lab):
+        result = fig19_prediction_error.run(lab, apps=SMALL_APPS, n_jobs=60)
+        for summary in result.summaries.values():
+            assert summary.median >= 0.0
+        assert "over-prediction" in fig19_prediction_error.render(result)
+
+
+class TestFig20:
+    def test_alpha_effects(self, lab):
+        result = fig20_alpha_sweep.run(
+            lab, app_name="sha", alphas=(1.0, 100.0), n_jobs=60
+        )
+        by_alpha = {p.alpha: p for p in result.points}
+        assert by_alpha[100.0].miss_pct <= by_alpha[1.0].miss_pct + 0.5
+        assert "alpha" in fig20_alpha_sweep.render(result)
+
+
+class TestFig21:
+    def test_idling_helps_performance_most(self, lab):
+        result = fig21_idling.run(
+            lab, governors=("performance", "prediction"), n_jobs=40
+        )
+        perf_gain = result.average_pct("performance") - result.average_pct(
+            "performance+idle"
+        )
+        pred_gain = result.average_pct("prediction") - result.average_pct(
+            "prediction+idle"
+        )
+        assert perf_gain > pred_gain
+        assert "+idle" in fig21_idling.render(result)

@@ -1,0 +1,77 @@
+"""Tests for the extra (beyond-paper) experiment modules."""
+
+import pytest
+
+from repro.analysis.experiments import energy_breakdown, robustness
+from repro.analysis.harness import Lab
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return Lab(switch_samples=20)
+
+
+class TestEnergyBreakdown:
+    def test_shares_sum_to_one(self, lab):
+        result = energy_breakdown.run(lab, app_name="sha", n_jobs=40)
+        for row in result.rows:
+            total_share = sum(row.share(tag) for tag in energy_breakdown.TAGS)
+            assert total_share == pytest.approx(1.0, abs=1e-9)
+
+    def test_performance_governor_wastes_on_idle(self, lab):
+        result = energy_breakdown.run(lab, app_name="sha", n_jobs=40)
+        perf = result.row("performance")
+        pred = result.row("prediction")
+        assert perf.share("idle") > pred.share("idle")
+        assert pred.share("job") > perf.share("job")
+
+    def test_only_prediction_pays_predictor_tax(self, lab):
+        result = energy_breakdown.run(lab, app_name="sha", n_jobs=40)
+        assert result.row("prediction").share("predictor") > 0
+        assert result.row("performance").share("predictor") == 0.0
+
+    def test_unknown_governor_lookup(self, lab):
+        result = energy_breakdown.run(
+            lab, app_name="sha", governors=("performance",), n_jobs=20
+        )
+        with pytest.raises(KeyError):
+            result.row("prediction")
+
+    def test_render(self, lab):
+        result = energy_breakdown.run(
+            lab, app_name="sha", governors=("performance",), n_jobs=20
+        )
+        text = energy_breakdown.render(result)
+        assert "idle share" in text and "sha" in text
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return robustness.run(
+            seeds=(3, 17),
+            governors=("performance", "prediction"),
+            apps=("xpilot",),
+            n_jobs=40,
+        )
+
+    def test_spread_per_governor(self, result):
+        spread = result.spread("prediction")
+        assert spread.n_seeds == 2
+        assert spread.energy_mean_pct < 100.0
+
+    def test_performance_reference_is_exactly_100(self, result):
+        spread = result.spread("performance")
+        assert spread.energy_mean_pct == pytest.approx(100.0)
+        assert spread.energy_std_pct == pytest.approx(0.0)
+
+    def test_prediction_misses_stay_zero_across_seeds(self, result):
+        assert result.spread("prediction").miss_max_pct == 0.0
+
+    def test_unknown_governor(self, result):
+        with pytest.raises(KeyError):
+            result.spread("pid")
+
+    def test_render(self, result):
+        text = robustness.render(result)
+        assert "mean±std" in text and "xpilot" in text

@@ -1,0 +1,70 @@
+"""Shared fixtures for governor tests: a tiny trained predictive stack."""
+
+import random
+
+import pytest
+
+from repro.features.encoding import FeatureEncoder
+from repro.features.profiler import Profiler
+from repro.models.dvfs import DvfsModel
+from repro.models.timing import ExecutionTimePredictor
+from repro.platform.board import Board
+from repro.platform.cpu import SimulatedCpu
+from repro.platform.jitter import LogNormalJitter
+from repro.platform.opp import default_xu3_a7_table
+from repro.programs.expr import Compare, Const, Var
+from repro.programs.instrument import Instrumenter
+from repro.programs.interpreter import Interpreter
+from repro.programs.ir import Assign, Block, If, Loop, Program, Seq
+from repro.programs.slicer import Slicer
+
+OPPS = default_xu3_a7_table()
+
+
+def toy_program():
+    """A job whose work varies strongly with its inputs."""
+    return Program(
+        name="toy",
+        body=Seq(
+            [
+                Assign("n", Var("width") * Var("height")),
+                If(
+                    "key",
+                    Compare("==", Var("kind"), Const(1)),
+                    Block(8_000_000, 8000),
+                    Block(1_000_000, 1000),
+                ),
+                Loop("mb", Var("n"), Block(40_000, 100)),
+            ]
+        ),
+    )
+
+
+def toy_inputs(n, seed=0):
+    rng = random.Random(seed)
+    return [
+        {
+            "width": rng.randint(5, 20),
+            "height": rng.randint(5, 15),
+            "kind": 1 if rng.random() < 0.25 else 0,
+        }
+        for _ in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def trained_stack():
+    """(program, slice, predictor, dvfs, switch_table) trained offline."""
+    program = toy_program()
+    inst = Instrumenter().instrument(program)
+    profiler = Profiler(
+        Interpreter(), SimulatedCpu(LogNormalJitter(0.02, seed=5)), OPPS
+    )
+    trace = profiler.profile(inst, toy_inputs(150, seed=1))
+    encoder = FeatureEncoder(inst.sites).fit(trace.raw_features)
+    predictor = ExecutionTimePredictor.train(
+        encoder, trace, alpha=100.0, gamma=1e-9, margin=0.10
+    )
+    slice_ = Slicer().slice(inst, set(predictor.needed_sites))
+    switch_table = Board().switcher.microbenchmark(samples_per_pair=50)
+    return program, slice_, predictor, DvfsModel(OPPS), switch_table

@@ -1,0 +1,76 @@
+"""Tests for the batched prediction governor (paper §7)."""
+
+import pytest
+
+from repro.governors.batch import BatchPredictiveGovernor
+from repro.governors.base import JobContext
+from repro.platform.board import Board
+from repro.platform.opp import default_xu3_a7_table
+
+OPPS = default_xu3_a7_table()
+
+
+def make_governor(trained_stack, batch_size=4, **kwargs):
+    _, slice_, predictor, dvfs, table = trained_stack
+    return BatchPredictiveGovernor(
+        slice_, predictor, dvfs, table, batch_size=batch_size, **kwargs
+    )
+
+
+def ctx_for(board, index, budget_s=0.050):
+    return JobContext(
+        index=index,
+        inputs={"width": 10, "height": 10, "kind": 0},
+        task_globals={},
+        budget_s=budget_s,
+        deadline_s=board.now + budget_s,
+        board=board,
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_batch_size(self, trained_stack):
+        with pytest.raises(ValueError):
+            make_governor(trained_stack, batch_size=0)
+
+    def test_rejects_negative_margin(self, trained_stack):
+        with pytest.raises(ValueError):
+            make_governor(trained_stack, batch_margin=-0.1)
+
+    def test_name_includes_batch_size(self, trained_stack):
+        assert make_governor(trained_stack, batch_size=8).name == (
+            "prediction-batch8"
+        )
+
+
+class TestBatching:
+    def test_decides_only_on_batch_heads(self, trained_stack):
+        gov = make_governor(trained_stack, batch_size=4)
+        board = Board()
+        decisions = [
+            gov.decide(ctx_for(board, index)) is not None
+            for index in range(8)
+        ]
+        assert decisions == [True, False, False, False] * 2
+
+    def test_batch_size_one_decides_every_job(self, trained_stack):
+        gov = make_governor(trained_stack, batch_size=1)
+        board = Board()
+        assert all(
+            gov.decide(ctx_for(board, index)) is not None for index in range(4)
+        )
+
+    def test_mid_batch_jobs_cost_nothing(self, trained_stack):
+        gov = make_governor(trained_stack, batch_size=4)
+        board = Board()
+        gov.decide(ctx_for(board, 0))
+        t_after_head = board.now
+        gov.decide(ctx_for(board, 1))
+        assert board.now == t_after_head
+
+    def test_batch_margin_raises_level(self, trained_stack):
+        cautious = make_governor(trained_stack, batch_size=4, batch_margin=0.8)
+        eager = make_governor(trained_stack, batch_size=4, batch_margin=0.0)
+        d_cautious = cautious.decide(ctx_for(Board(), 0))
+        d_eager = eager.decide(ctx_for(Board(), 0))
+        assert d_cautious.opp.freq_hz >= d_eager.opp.freq_hz

@@ -1,0 +1,55 @@
+"""Smoke tests: every shipped example must run and print sane output."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "energy saving" in out
+        assert "0.0% deadline misses" in out
+
+    def test_video_player(self, capsys):
+        out = run_example("video_player", capsys)
+        assert "prediction" in out
+        assert "freq[MHz]" in out
+
+    def test_inspect_predictor(self, capsys):
+        out = run_example("inspect_predictor", capsys)
+        assert "chosen MHz" in out
+        assert "reduction" in out
+
+    def test_biglittle(self, capsys):
+        out = run_example("biglittle", capsys)
+        assert "A15" in out and "A7" in out
+        assert "frames needed the big cluster" in out
+
+    def test_multitask(self, capsys):
+        out = run_example("multitask", capsys)
+        assert "ldecode" in out and "xpilot" in out
+        assert "0.0%" in out
+
+    @pytest.mark.slow
+    def test_budget_exploration(self, capsys):
+        out = run_example("budget_exploration", capsys)
+        assert "Tightest clean budget" in out

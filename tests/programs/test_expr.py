@@ -1,0 +1,186 @@
+"""Tests for the expression AST."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.programs.expr import (
+    BinOp,
+    BoolOp,
+    Compare,
+    Const,
+    IfExpr,
+    UnaryOp,
+    Var,
+    as_expr,
+)
+
+
+class TestConst:
+    def test_evaluates_to_value(self):
+        assert Const(7).evaluate({}) == 7
+        assert Const(2.5).evaluate({}) == 2.5
+        assert Const(True).evaluate({}) is True
+
+    def test_no_variables(self):
+        assert Const(7).variables() == frozenset()
+
+    def test_rejects_non_scalar(self):
+        with pytest.raises(TypeError):
+            Const([1, 2])
+
+
+class TestVar:
+    def test_reads_environment(self):
+        assert Var("x").evaluate({"x": 3}) == 3
+
+    def test_undefined_raises_keyerror(self):
+        with pytest.raises(KeyError, match="x"):
+            Var("x").evaluate({})
+
+    def test_reports_variable(self):
+        assert Var("x").variables() == frozenset({"x"})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+
+class TestBinOp:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("+", 2, 3, 5),
+            ("-", 2, 3, -1),
+            ("*", 2, 3, 6),
+            ("//", 7, 2, 3),
+            ("%", 7, 2, 1),
+            ("min", 7, 2, 2),
+            ("max", 7, 2, 7),
+        ],
+    )
+    def test_arithmetic(self, op, a, b, expected):
+        assert BinOp(op, Const(a), Const(b)).evaluate({}) == expected
+
+    def test_division_by_zero_yields_zero(self):
+        assert BinOp("//", Const(5), Const(0)).evaluate({}) == 0
+        assert BinOp("%", Const(5), Const(0)).evaluate({}) == 0
+        assert BinOp("/", Const(5), Const(0)).evaluate({}) == 0.0
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Const(2), Const(3))
+
+    def test_variables_union(self):
+        e = BinOp("+", Var("a"), BinOp("*", Var("b"), Const(2)))
+        assert e.variables() == frozenset({"a", "b"})
+
+    def test_operator_sugar(self):
+        e = Var("a") + Var("b") * Const(2)
+        assert e.evaluate({"a": 1, "b": 3}) == 7
+        e = Var("a") - 1
+        assert e.evaluate({"a": 5}) == 4
+        e = Var("a") // 2
+        assert e.evaluate({"a": 5}) == 2
+        e = Var("a") % 3
+        assert e.evaluate({"a": 5}) == 2
+
+
+class TestUnaryOp:
+    def test_negation(self):
+        assert UnaryOp("-", Const(3)).evaluate({}) == -3
+
+    def test_not(self):
+        assert UnaryOp("not", Const(0)).evaluate({}) is True
+
+    def test_abs(self):
+        assert UnaryOp("abs", Const(-3)).evaluate({}) == 3
+
+    def test_int_truncation(self):
+        assert UnaryOp("int", Const(3.7)).evaluate({}) == 3
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            UnaryOp("sqrt", Const(2))
+
+
+class TestCompare:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("==", 2, 2, True),
+            ("!=", 2, 3, True),
+            ("<", 2, 3, True),
+            ("<=", 3, 3, True),
+            (">", 2, 3, False),
+            (">=", 3, 3, True),
+        ],
+    )
+    def test_comparisons(self, op, a, b, expected):
+        assert Compare(op, Const(a), Const(b)).evaluate({}) is expected
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            Compare("~", Const(1), Const(2))
+
+
+class TestBoolOp:
+    def test_and(self):
+        e = BoolOp("and", [Const(True), Compare("<", Var("x"), Const(5))])
+        assert e.evaluate({"x": 3}) is True
+        assert e.evaluate({"x": 7}) is False
+
+    def test_or(self):
+        e = BoolOp("or", [Const(False), Compare("<", Var("x"), Const(5))])
+        assert e.evaluate({"x": 3}) is True
+
+    def test_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            BoolOp("and", [Const(True)])
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            BoolOp("xor", [Const(True), Const(False)])
+
+    def test_variables_union(self):
+        e = BoolOp("and", [Var("a"), Var("b"), Var("c")])
+        assert e.variables() == frozenset({"a", "b", "c"})
+
+
+class TestIfExpr:
+    def test_selects_branch(self):
+        e = IfExpr(Var("c"), Const(1), Const(2))
+        assert e.evaluate({"c": True}) == 1
+        assert e.evaluate({"c": False}) == 2
+
+    def test_variables_include_all_branches(self):
+        e = IfExpr(Var("c"), Var("a"), Var("b"))
+        assert e.variables() == frozenset({"a", "b", "c"})
+
+
+class TestAsExpr:
+    def test_passthrough(self):
+        e = Const(1)
+        assert as_expr(e) is e
+
+    def test_scalar_to_const(self):
+        assert as_expr(5).evaluate({}) == 5
+
+    def test_string_to_var(self):
+        assert as_expr("x").evaluate({"x": 9}) == 9
+
+
+class TestAlgebraicProperties:
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_addition_commutes(self, a, b):
+        left = BinOp("+", Const(a), Const(b)).evaluate({})
+        right = BinOp("+", Const(b), Const(a)).evaluate({})
+        assert left == right
+
+    @given(st.integers(-1000, 1000))
+    def test_evaluation_is_pure(self, a):
+        env = {"x": a}
+        e = BinOp("*", Var("x"), Const(2))
+        first = e.evaluate(env)
+        second = e.evaluate(env)
+        assert first == second
+        assert env == {"x": a}

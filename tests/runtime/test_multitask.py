@@ -1,0 +1,187 @@
+"""Tests for multi-task (non-overlapping) scheduling (paper §4.1)."""
+
+import pytest
+
+from repro.governors.interactive import InteractiveGovernor
+from repro.governors.performance import PerformanceGovernor
+from repro.governors.powersave import PowersaveGovernor
+from repro.platform.board import Board
+from repro.platform.opp import default_xu3_a7_table
+from repro.programs.expr import Var
+from repro.programs.ir import Block, Loop, Program
+from repro.runtime.multitask import MultiTaskRunner, TaskStream
+from repro.runtime.task import Task
+
+OPPS = default_xu3_a7_table()
+
+
+def fixed_task(name, cycles, budget_s=0.050):
+    return Task(name, Program(name, Block(cycles)), budget_s)
+
+
+def loopy_task(name, budget_s=0.050):
+    return Task(name, Program(name, Loop("l", Var("n"), Block(4000))), budget_s)
+
+
+def stream(name, cycles=7e6, n_jobs=5, budget_s=0.050, offset_s=0.0,
+           governor=None):
+    return TaskStream(
+        task=fixed_task(name, cycles, budget_s),
+        governor=governor if governor is not None else PerformanceGovernor(OPPS),
+        inputs=[{}] * n_jobs,
+        offset_s=offset_s,
+    )
+
+
+class TestValidation:
+    def test_requires_streams(self):
+        with pytest.raises(ValueError):
+            MultiTaskRunner(Board(), [])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MultiTaskRunner(Board(), [stream("a"), stream("a")])
+
+    def test_stream_requires_inputs(self):
+        with pytest.raises(ValueError):
+            TaskStream(fixed_task("a", 1e6), PerformanceGovernor(OPPS), [])
+
+    def test_timer_governor_rejected(self):
+        with pytest.raises(ValueError, match="timer"):
+            TaskStream(
+                fixed_task("a", 1e6),
+                InteractiveGovernor(OPPS),
+                [{}],
+            )
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            TaskStream(
+                fixed_task("a", 1e6),
+                PerformanceGovernor(OPPS),
+                [{}],
+                offset_s=-1.0,
+            )
+
+
+class TestScheduling:
+    def test_single_stream_matches_expectations(self):
+        results = MultiTaskRunner(Board(), [stream("solo", n_jobs=4)]).run()
+        assert results["solo"].n_jobs == 4
+        assert results["solo"].miss_rate == 0.0
+
+    def test_two_streams_all_jobs_run(self):
+        results = MultiTaskRunner(
+            Board(),
+            [
+                stream("video", cycles=14e6, n_jobs=6),
+                stream("audio", cycles=2e6, n_jobs=6, offset_s=0.025),
+            ],
+        ).run()
+        assert results["video"].n_jobs == 6
+        assert results["audio"].n_jobs == 6
+
+    def test_jobs_never_overlap(self):
+        """The defining §4.1 property: executions are disjoint in time."""
+        results = MultiTaskRunner(
+            Board(),
+            [
+                stream("a", cycles=20e6, n_jobs=8),
+                stream("b", cycles=20e6, n_jobs=8, offset_s=0.010),
+            ],
+        ).run()
+        intervals = sorted(
+            (j.start_s, j.end_s)
+            for r in results.values()
+            for j in r.jobs
+        )
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-9
+
+    def test_fifo_by_release_time(self):
+        results = MultiTaskRunner(
+            Board(),
+            [
+                stream("late", cycles=1e6, n_jobs=3, offset_s=0.030),
+                stream("early", cycles=1e6, n_jobs=3, offset_s=0.0),
+            ],
+        ).run()
+        first_early = results["early"].jobs[0]
+        first_late = results["late"].jobs[0]
+        assert first_early.end_s <= first_late.start_s
+
+    def test_contention_delays_but_records_misses_honestly(self):
+        """Two heavy tasks with the same phase: the second queues behind
+        the first and can miss — contention is visible, not hidden."""
+        results = MultiTaskRunner(
+            Board(initial_opp=OPPS.fmin),
+            [
+                stream(
+                    "a",
+                    cycles=9e6,
+                    n_jobs=6,
+                    governor=PowersaveGovernor(OPPS),
+                ),
+                stream(
+                    "b",
+                    cycles=9e6,
+                    n_jobs=6,
+                    governor=PowersaveGovernor(OPPS),
+                ),
+            ],
+        ).run()
+        # Each job alone takes 45 ms at fmin; two per 50 ms period cannot fit.
+        assert results["b"].miss_rate > 0.5
+
+    def test_per_stream_state_is_independent(self):
+        t1 = loopy_task("x")
+        t2 = loopy_task("y")
+        results = MultiTaskRunner(
+            Board(),
+            [
+                TaskStream(t1, PerformanceGovernor(OPPS), [{"n": 100}] * 3),
+                TaskStream(
+                    t2, PerformanceGovernor(OPPS), [{"n": 4000}] * 3,
+                    offset_s=0.02,
+                ),
+            ],
+        ).run()
+        assert results["y"].jobs[0].exec_time_s > results["x"].jobs[0].exec_time_s
+
+
+class TestPredictiveStreams:
+    def test_two_predictive_controllers_coexist(self, tmp_path):
+        from repro.pipeline import PipelineConfig, build_controller
+        from repro.platform.switching import SwitchLatencyModel
+        from repro.workloads.registry import get_app
+
+        table = SwitchLatencyModel(OPPS).microbenchmark(20)
+        sha = get_app("sha")
+        xpilot = get_app("xpilot")
+        config = PipelineConfig(n_profile_jobs=60)
+        sha_tc = build_controller(sha, OPPS, config, switch_table=table)
+        xpilot_tc = build_controller(xpilot, OPPS, config, switch_table=table)
+
+        board = Board()
+        results = MultiTaskRunner(
+            board,
+            [
+                TaskStream(sha.task, sha_tc.governor(), sha.inputs(20, 1)),
+                TaskStream(
+                    xpilot.task,
+                    xpilot_tc.governor(),
+                    xpilot.inputs(20, 1),
+                    offset_s=0.048,
+                ),
+            ],
+        ).run()
+        # Each controller keeps its own task near-miss-free.  Occasional
+        # misses from cross-task queueing are legitimate: accounting for
+        # another task's contention is exactly the open problem the paper
+        # flags in §7 ("Extending this work ... will require a way to
+        # model and estimate the contention of multiple ... workloads").
+        assert results["sha"].miss_rate <= 0.10
+        assert results["xpilot"].miss_rate <= 0.10
+        # Both controllers really made decisions (predictor time charged).
+        assert results["sha"].mean_predictor_time_s > 0
+        assert results["xpilot"].mean_predictor_time_s > 0

@@ -1,0 +1,94 @@
+"""Library-wide API quality checks.
+
+Every public module, class, and function must carry a docstring, and the
+package must import cleanly without side effects — the basics a
+downstream user relies on.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.platform",
+    "repro.programs",
+    "repro.features",
+    "repro.models",
+    "repro.governors",
+    "repro.runtime",
+    "repro.workloads",
+    "repro.pipeline",
+    "repro.analysis",
+    "repro.analysis.experiments",
+]
+
+
+def all_modules():
+    names = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        names.append(package_name)
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.name.startswith("_"):
+                continue  # __main__ and friends are scripts, not API
+            names.append(f"{package_name}.{info.name}")
+    # Sub-packages appear twice (as module of parent and as package).
+    return sorted(set(names))
+
+
+def _documented_in_mro(cls, attr_name):
+    """Whether any base class documents a method of this name."""
+    for base in cls.__mro__[1:]:
+        candidate = getattr(base, attr_name, None)
+        if candidate is not None and getattr(candidate, "__doc__", None):
+            return True
+    return False
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_public_members_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        member = getattr(module, name)
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if member.__module__ != module_name:
+                continue  # re-export; documented at its home
+            if not member.__doc__:
+                undocumented.append(name)
+            if inspect.isclass(member):
+                for attr_name, attr in vars(member).items():
+                    if attr_name.startswith("_"):
+                        continue
+                    if (
+                        inspect.isfunction(attr)
+                        and not attr.__doc__
+                        # Overrides inherit the base method's contract.
+                        and not _documented_in_mro(member, attr_name)
+                    ):
+                        undocumented.append(f"{name}.{attr_name}")
+    assert not undocumented, (
+        f"{module_name}: missing docstrings on {undocumented}"
+    )
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for module_name in all_modules():
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists {name}"
