@@ -1,0 +1,35 @@
+"""Bench for the online-adaptation drift study (beyond-paper extra).
+
+Asserts the subsystem's acceptance criteria at smoke scale: after a
+mid-run slowdown the adaptive governor's miss rate returns to the
+pre-shift level while the frozen predictive governor stays broken, at
+no more than the performance governor's energy, with the feedback cost
+inside the Fig. 17 predictor envelope.
+"""
+
+from conftest import one_shot
+
+from repro.analysis.experiments import drift_adaptation
+
+
+def test_drift_adaptation(benchmark, lab):
+    result = one_shot(
+        benchmark, drift_adaptation.run, lab, n_jobs=160, window=25
+    )
+    print("\n" + drift_adaptation.render(result))
+    frozen = result.row("prediction")
+    adaptive = result.row("adaptive")
+    performance = result.row("performance")
+
+    # The shift is real: it breaks the frozen controller for good.
+    assert frozen.pre_miss_rate <= 0.05
+    assert frozen.final_miss_rate > 0.5
+    # The adaptive governor detects it and recovers: by the end of the
+    # run its miss rate is back within 2x of pre-shift (with a small
+    # absolute allowance when the pre-shift rate is zero).
+    assert adaptive.drift_events >= 1
+    assert adaptive.final_miss_rate <= max(2 * adaptive.pre_miss_rate, 0.04)
+    # Recovery is not bought with the energy ceiling...
+    assert adaptive.energy_j <= performance.energy_j
+    # ...nor with an adaptation cost beyond the predictor envelope.
+    assert adaptive.mean_adaptation_ms <= adaptive.mean_predictor_ms

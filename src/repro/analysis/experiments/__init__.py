@@ -7,6 +7,7 @@ calls these; so can users, directly.
 
 from repro.analysis.experiments import (
     cross_platform,
+    drift_adaptation,
     energy_breakdown,
     fig02_trace,
     fig03_pid_lag,
@@ -25,6 +26,7 @@ from repro.analysis.experiments import (
 
 __all__ = [
     "cross_platform",
+    "drift_adaptation",
     "energy_breakdown",
     "fig02_trace",
     "fig03_pid_lag",

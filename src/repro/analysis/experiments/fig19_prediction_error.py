@@ -43,7 +43,11 @@ def run(
         app = lab.app(name)
         controller = lab.controller(name)
         interp = lab.interpreter
-        jobs = n_jobs if n_jobs is not None else default_n_jobs(name)
+        jobs = (
+            n_jobs
+            if n_jobs is not None
+            else default_n_jobs(name, lab.pipeline_config)
+        )
         task_globals = app.task.program.fresh_globals()
         predicted = []
         actual = []

@@ -46,18 +46,16 @@ GOVERNOR_NAMES = (
     "interactive",
     "pid",
     "prediction",
+    "adaptive",
     "oracle",
 )
 
-#: Jobs per evaluation run.  pocketsphinx jobs are seconds long, so fewer
-#: of them keep simulated sessions comparable in wall-clock cost.
-_DEFAULT_N_JOBS = 250
-_SLOW_APP_N_JOBS = {"pocketsphinx": 40}
 
-
-def default_n_jobs(app_name: str) -> int:
-    """Evaluation job count for an application."""
-    return _SLOW_APP_N_JOBS.get(app_name, _DEFAULT_N_JOBS)
+def default_n_jobs(app_name: str, config: PipelineConfig | None = None) -> int:
+    """Evaluation job count for an application (configured via
+    :attr:`PipelineConfig.eval_n_jobs` and its per-app overrides)."""
+    config = config if config is not None else PipelineConfig()
+    return config.eval_jobs_for(app_name)
 
 
 @dataclass(frozen=True)
@@ -157,6 +155,13 @@ class Lab:
             return self.controller(app_name, pipeline_config).governor(
                 self.interpreter
             )
+        if name == "adaptive":
+            from repro.governors.adaptive import AdaptiveGovernor
+
+            return AdaptiveGovernor.from_controller(
+                self.controller(app_name, pipeline_config),
+                interpreter=self.interpreter,
+            )
         if name.startswith("prediction-batch"):
             # §7 future-work controller: "prediction-batch8" -> batch of 8.
             from repro.governors.batch import BatchPredictiveGovernor
@@ -211,7 +216,11 @@ class Lab:
         """
         app = self.app(app_name)
         budget = budget_s if budget_s is not None else app.task.budget_s
-        jobs = n_jobs if n_jobs is not None else default_n_jobs(app_name)
+        jobs = (
+            n_jobs
+            if n_jobs is not None
+            else default_n_jobs(app_name, self.pipeline_config)
+        )
         key = _RunKey(
             app=app_name,
             governor=governor_name,

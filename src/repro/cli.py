@@ -38,6 +38,8 @@ _EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "fig20": ("Under-predict penalty sweep", exp.fig20_alpha_sweep),
     "fig21": ("Idling between jobs", exp.fig21_idling),
     "breakdown": ("Energy by activity (extra)", exp.energy_breakdown),
+    "drift": ("Mid-run drift: adaptation vs frozen (extra)",
+              exp.drift_adaptation),
     "robustness": ("Headline across seeds (extra)", exp.robustness),
     "crossplatform": ("Feature stability across platforms (§4.2)",
                       exp.cross_platform),
@@ -74,7 +76,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--app",
         default=None,
-        help="app for single-app figures (fig2, fig3, fig9, fig16, fig20)",
+        help="app for single-app figures (fig2, fig3, fig9, fig16, "
+        "fig20, drift)",
     )
     parser.add_argument(
         "--jobs", type=int, default=None, help="override jobs per run"
@@ -118,7 +121,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.jobs is not None:
             kwargs["n_jobs"] = args.jobs
         if args.app is not None and name in (
-            "fig2", "fig3", "fig9", "fig16", "fig20"
+            "fig2", "fig3", "fig9", "fig16", "fig20", "drift"
         ):
             key = "app" if name == "fig2" else "app_name"
             kwargs[key] = args.app

@@ -1,5 +1,10 @@
 """DVFS governors: stock Linux baselines, PID, prediction-based, oracle."""
 
+from repro.governors.adaptive import (
+    AdaptiveConfig,
+    AdaptiveGovernor,
+    AdaptiveMode,
+)
 from repro.governors.base import Decision, Governor, JobContext
 from repro.governors.batch import BatchPredictiveGovernor
 from repro.governors.conservative import ConservativeGovernor
@@ -13,6 +18,9 @@ from repro.governors.powersave import PowersaveGovernor
 from repro.governors.predictive import PredictiveGovernor
 
 __all__ = [
+    "AdaptiveConfig",
+    "AdaptiveGovernor",
+    "AdaptiveMode",
     "Decision",
     "Governor",
     "JobContext",

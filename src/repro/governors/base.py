@@ -97,5 +97,12 @@ class Governor(ABC):
         """Periodic utilization sample; return a new OPP or None."""
         return None
 
-    def on_job_end(self, record: "JobRecord", ctx: JobContext) -> None:
-        """Observe a completed job (history-based policies learn here)."""
+    def on_job_end(self, record: "JobRecord", ctx: JobContext) -> Work | None:
+        """Observe a completed job (history-based policies learn here).
+
+        A governor whose feedback computation is non-trivial (the
+        adaptive governor's online recalibration) returns its cost as a
+        :class:`~repro.platform.cpu.Work` bill; the executor charges it
+        as predictor time.  ``None`` means the observation was free.
+        """
+        return None

@@ -35,6 +35,12 @@ class PipelineConfig:
             execution time non-trivial (Fig. 17).
         slice_marshal_per_var_instr: Additional copy cost per variable the
             slice retains.
+        eval_n_jobs: Jobs per evaluation run (experiments may override
+            per call).
+        eval_n_jobs_overrides: Per-app evaluation job counts as
+            ``(app_name, n_jobs)`` pairs.  pocketsphinx jobs are seconds
+            long, so fewer of them keep simulated sessions comparable in
+            wall-clock cost.
     """
 
     alpha: float = 100.0
@@ -48,6 +54,8 @@ class PipelineConfig:
     max_iter: int = 5000
     slice_marshal_base_instr: float = 80_000.0
     slice_marshal_per_var_instr: float = 6_000.0
+    eval_n_jobs: int = 250
+    eval_n_jobs_overrides: tuple[tuple[str, int], ...] = (("pocketsphinx", 40),)
 
     def __post_init__(self) -> None:
         if self.alpha <= 0:
@@ -58,3 +66,24 @@ class PipelineConfig:
             raise ValueError("margin must be non-negative")
         if self.n_profile_jobs < 2:
             raise ValueError("need at least two profiling jobs")
+        if self.eval_n_jobs < 1:
+            raise ValueError("eval_n_jobs must be >= 1")
+        # JSON round-trips (pipeline.persist) deliver lists; normalize so
+        # the config stays hashable and comparable.
+        object.__setattr__(
+            self,
+            "eval_n_jobs_overrides",
+            tuple(
+                (str(app), int(jobs))
+                for app, jobs in self.eval_n_jobs_overrides
+            ),
+        )
+        if any(jobs < 1 for _, jobs in self.eval_n_jobs_overrides):
+            raise ValueError("per-app eval job counts must be >= 1")
+
+    def eval_jobs_for(self, app_name: str) -> int:
+        """Evaluation job count for an application."""
+        for name, jobs in self.eval_n_jobs_overrides:
+            if name == app_name:
+                return jobs
+        return self.eval_n_jobs

@@ -34,9 +34,15 @@ from repro.programs.instrument import FeatureSite, InstrumentedProgram
 from repro.programs.serialize import program_from_dict, program_to_dict
 from repro.programs.slicer import PredictionSlice
 
-__all__ = ["save_controller", "load_controller"]
+__all__ = [
+    "save_controller",
+    "load_controller",
+    "save_adaptive_state",
+    "load_adaptive_state",
+]
 
 _FORMAT_VERSION = 1
+_ADAPTIVE_FORMAT_VERSION = 1
 
 
 def _opp_to_dict(point: OperatingPoint) -> dict[str, Any]:
@@ -115,6 +121,10 @@ def save_controller(
             "slice_marshal_per_var_instr": (
                 controller.config.slice_marshal_per_var_instr
             ),
+            "eval_n_jobs": controller.config.eval_n_jobs,
+            "eval_n_jobs_overrides": [
+                list(pair) for pair in controller.config.eval_n_jobs_overrides
+            ],
         },
         "instrumented": {
             "program": program_to_dict(controller.instrumented.program),
@@ -162,6 +172,45 @@ def save_controller(
         "trace": controller.trace.to_json() if include_trace else None,
     }
     Path(path).write_text(json.dumps(payload))
+
+
+def save_adaptive_state(governor, path: str | Path) -> None:
+    """Write an adaptive governor's learned state to a JSON file.
+
+    This is the run-time counterpart of :func:`save_controller`: the
+    offline artifacts are the distribution format, while this captures
+    what the feedback loop has learned since deployment — recalibrated
+    coefficients, covariances, the adaptive margin, and the drift
+    detector/monitor state — so a service restart resumes adaptation
+    instead of restarting it from the offline fit.
+
+    Args:
+        governor: An object exposing ``state_dict()`` (an
+            :class:`~repro.governors.adaptive.AdaptiveGovernor`).
+        path: Destination file.
+    """
+    payload = {
+        "format_version": _ADAPTIVE_FORMAT_VERSION,
+        "state": governor.state_dict(),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_adaptive_state(governor, path: str | Path) -> None:
+    """Restore a governor's learned state from :func:`save_adaptive_state`.
+
+    The governor must be built from the *same* trained controller (same
+    slice and feature vocabulary); state from a different controller
+    would silently mis-map coefficients, so pair the two files.
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _ADAPTIVE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported adaptive-state format version {version!r} "
+            f"(this library reads version {_ADAPTIVE_FORMAT_VERSION})"
+        )
+    governor.load_state_dict(payload["state"])
 
 
 def load_controller(path: str | Path) -> TrainedController:

@@ -18,7 +18,7 @@ mid-job frequency change re-times it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
 from typing import Mapping, Sequence
 
 from repro.governors.base import Decision, Governor, JobContext
@@ -197,7 +197,17 @@ class TaskLoopRunner:
                 decision.predicted_time_s if decision is not None else float("nan")
             ),
         )
-        self.governor.on_job_end(record, ctx)
+        feedback_work = self.governor.on_job_end(record, ctx)
+        if feedback_work is not None and self.charge_predictor:
+            # Adaptation runs in the slack after the job completes; it
+            # cannot un-miss this job but can delay the next one.
+            adaptation_time = board.cpu.execution_time(
+                feedback_work, board.current_opp
+            )
+            board.busy_run(adaptation_time, tag="predictor")
+            record = dataclasses.replace(
+                record, adaptation_time_s=adaptation_time
+            )
         return record
 
     def _decide(

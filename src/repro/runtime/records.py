@@ -33,6 +33,8 @@ class JobRecord:
         predicted_time_s: The predictor's (margined) estimate of the job's
             execution time at the chosen level; NaN for governors that do
             not predict.
+        adaptation_time_s: Time spent on post-job feedback (the adaptive
+            governor's online recalibration); 0 for static governors.
     """
 
     index: int
@@ -45,6 +47,7 @@ class JobRecord:
     predictor_time_s: float = 0.0
     switch_time_s: float = 0.0
     predicted_time_s: float = float("nan")
+    adaptation_time_s: float = 0.0
 
     @property
     def missed(self) -> bool:
@@ -116,6 +119,12 @@ class RunResult:
             return 0.0
         return sum(j.switch_time_s for j in self.jobs) / len(self.jobs)
 
+    @property
+    def mean_adaptation_time_s(self) -> float:
+        if not self.jobs:
+            return 0.0
+        return sum(j.adaptation_time_s for j in self.jobs) / len(self.jobs)
+
     def energy_relative_to(self, reference: "RunResult") -> float:
         """This run's energy as a fraction of ``reference``'s (Fig. 15)."""
         if reference.energy_j <= 0:
@@ -137,6 +146,7 @@ class RunResult:
                 "predictor_time_s": j.predictor_time_s,
                 "switch_time_s": j.switch_time_s,
                 "predicted_time_s": j.predicted_time_s,
+                "adaptation_time_s": j.adaptation_time_s,
                 "missed": j.missed,
             }
             for j in self.jobs
@@ -170,9 +180,64 @@ class RunResult:
         fields = [
             "index", "arrival_s", "start_s", "end_s", "deadline_s",
             "opp_mhz", "exec_time_s", "predictor_time_s", "switch_time_s",
-            "predicted_time_s", "missed",
+            "predicted_time_s", "adaptation_time_s", "missed",
         ]
         writer = csv.DictWriter(buffer, fieldnames=fields)
         writer.writeheader()
         writer.writerows(rows)
         return buffer.getvalue()
+
+    # -- import -----------------------------------------------------------------
+    @staticmethod
+    def _job_from_dict(data: dict) -> JobRecord:
+        predicted = data.get("predicted_time_s")
+        return JobRecord(
+            index=int(data["index"]),
+            arrival_s=float(data["arrival_s"]),
+            start_s=float(data["start_s"]),
+            end_s=float(data["end_s"]),
+            deadline_s=float(data["deadline_s"]),
+            opp_mhz=float(data["opp_mhz"]),
+            exec_time_s=float(data["exec_time_s"]),
+            predictor_time_s=float(data.get("predictor_time_s", 0.0)),
+            switch_time_s=float(data.get("switch_time_s", 0.0)),
+            predicted_time_s=(
+                float("nan") if predicted is None else float(predicted)
+            ),
+            adaptation_time_s=float(data.get("adaptation_time_s", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        """Rebuild a result from :meth:`to_json` output.
+
+        ``missed`` is a derived property and is ignored on input;
+        ``predicted_time_s: null`` maps back to NaN.
+        """
+        payload = json.loads(text)
+        return cls(
+            governor=payload["governor"],
+            app=payload["app"],
+            budget_s=float(payload["budget_s"]),
+            jobs=[cls._job_from_dict(job) for job in payload["jobs"]],
+            energy_j=float(payload["energy_j"]),
+            energy_by_tag={
+                tag: float(value)
+                for tag, value in payload["energy_by_tag"].items()
+            },
+            switch_count=int(payload["switch_count"]),
+        )
+
+    @staticmethod
+    def jobs_from_csv(text: str) -> list[JobRecord]:
+        """Parse :meth:`jobs_as_csv` output back into records.
+
+        An empty ``predicted_time_s`` cell (CSV has no null) maps to NaN.
+        """
+        records = []
+        for row in csv.DictReader(io.StringIO(text)):
+            data: dict = dict(row)
+            if data.get("predicted_time_s") in ("", None, "nan"):
+                data["predicted_time_s"] = None
+            records.append(RunResult._job_from_dict(data))
+        return records

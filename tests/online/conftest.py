@@ -1,0 +1,82 @@
+"""Fixtures: a toy trained stack and drifted runs for adaptation tests."""
+
+import pytest
+
+from tests.governors.conftest import OPPS, toy_inputs, toy_program
+
+from repro.features.encoding import FeatureEncoder
+from repro.features.profiler import Profiler
+from repro.governors.predictive import PredictiveGovernor
+from repro.models.dvfs import DvfsModel
+from repro.models.timing import ExecutionTimePredictor
+from repro.online.inject import StepDriftJitter
+from repro.platform.board import Board
+from repro.platform.cpu import SimulatedCpu
+from repro.platform.jitter import LogNormalJitter
+from repro.programs.instrument import Instrumenter
+from repro.programs.interpreter import Interpreter
+from repro.programs.slicer import Slicer
+from repro.runtime.executor import TaskLoopRunner
+from repro.runtime.task import Task
+
+BUDGET_S = 0.030
+
+
+@pytest.fixture(scope="module")
+def toy_stack():
+    """(program, slice, predictor, dvfs, switch_table) trained offline."""
+    program = toy_program()
+    inst = Instrumenter().instrument(program)
+    profiler = Profiler(
+        Interpreter(), SimulatedCpu(LogNormalJitter(0.02, seed=5)), OPPS
+    )
+    trace = profiler.profile(inst, toy_inputs(150, seed=1))
+    encoder = FeatureEncoder(inst.sites).fit(trace.raw_features)
+    predictor = ExecutionTimePredictor.train(
+        encoder, trace, alpha=100.0, gamma=1e-9, margin=0.10
+    )
+    slice_ = Slicer().slice(inst, set(predictor.needed_sites))
+    switch_table = Board().switcher.microbenchmark(samples_per_pair=50)
+    return program, slice_, predictor, DvfsModel(OPPS), switch_table
+
+
+def make_predictive(toy_stack) -> PredictiveGovernor:
+    _, slice_, predictor, dvfs, switch_table = toy_stack
+    return PredictiveGovernor(
+        slice=slice_,
+        predictor=predictor,
+        dvfs=dvfs,
+        switch_table=switch_table,
+        interpreter=Interpreter(),
+    )
+
+
+def run_toy(
+    toy_stack,
+    governor,
+    n_jobs=160,
+    shift_job=None,
+    slowdown=1.35,
+    seed=77,
+):
+    """Run the toy task under ``governor``, optionally with a mid-run
+    slowdown engaging at ``shift_job`` (time-triggered)."""
+    program, *_ = toy_stack
+    board = Board(opps=OPPS)
+    jitter = LogNormalJitter(0.02, seed=seed)
+    if shift_job is not None:
+        jitter = StepDriftJitter(
+            jitter,
+            slowdown,
+            shift_at_s=shift_job * BUDGET_S,
+            clock=lambda: board.now,
+        )
+    board.cpu.jitter = jitter
+    runner = TaskLoopRunner(
+        board=board,
+        task=Task("toy", program, BUDGET_S),
+        governor=governor,
+        inputs=toy_inputs(n_jobs, seed=seed),
+        interpreter=Interpreter(),
+    )
+    return runner.run()

@@ -1,0 +1,117 @@
+"""Tests for the streaming residual statistics (EWMA, P², monitor)."""
+
+import random
+
+import pytest
+
+from repro.online.residuals import Ewma, P2Quantile, ResidualMonitor
+
+
+class TestEwma:
+    def test_first_sample_is_taken_verbatim(self):
+        ewma = Ewma(0.1)
+        assert ewma.value is None
+        assert ewma.update(3.0) == 3.0
+
+    def test_moves_toward_new_level(self):
+        ewma = Ewma(0.5)
+        ewma.update(0.0)
+        assert ewma.update(1.0) == pytest.approx(0.5)
+        assert ewma.update(1.0) == pytest.approx(0.75)
+
+    def test_get_default_before_any_update(self):
+        assert Ewma(0.2).get(default=7.0) == 7.0
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            Ewma(0.0)
+        with pytest.raises(ValueError):
+            Ewma(1.5)
+
+    def test_state_round_trip(self):
+        ewma = Ewma(0.3)
+        for x in (1.0, 2.0, -1.0):
+            ewma.update(x)
+        other = Ewma(0.9)
+        other.load_state_dict(ewma.state_dict())
+        assert other.alpha == ewma.alpha
+        assert other.value == ewma.value
+
+
+class TestP2Quantile:
+    def test_exact_below_five_samples(self):
+        q = P2Quantile(0.5)
+        for x in (3.0, 1.0, 2.0):
+            q.update(x)
+        assert q.get() == pytest.approx(2.0)
+
+    def test_tracks_uniform_quantile(self):
+        rng = random.Random(3)
+        q = P2Quantile(0.95)
+        for _ in range(5000):
+            q.update(rng.uniform(0.0, 1.0))
+        assert q.get() == pytest.approx(0.95, abs=0.03)
+
+    def test_tracks_skewed_distribution(self):
+        rng = random.Random(7)
+        q = P2Quantile(0.9)
+        samples = [rng.expovariate(1.0) for _ in range(5000)]
+        for x in samples:
+            q.update(x)
+        exact = sorted(samples)[int(0.9 * len(samples))]
+        assert q.get() == pytest.approx(exact, rel=0.15)
+
+    def test_reset_forgets_everything(self):
+        q = P2Quantile(0.5)
+        for x in range(20):
+            q.update(float(x))
+        q.reset()
+        assert q.count == 0
+        assert q.get(default=-1.0) == -1.0
+
+    def test_q_validated(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_state_round_trip_continues_identically(self):
+        rng = random.Random(11)
+        stream = [rng.gauss(0.0, 1.0) for _ in range(200)]
+        a = P2Quantile(0.75)
+        for x in stream[:100]:
+            a.update(x)
+        b = P2Quantile(0.5)
+        b.load_state_dict(a.state_dict())
+        for x in stream[100:]:
+            a.update(x)
+            b.update(x)
+        assert b.get() == pytest.approx(a.get())
+        assert b.count == a.count
+
+
+class TestResidualMonitor:
+    def test_snapshot_reflects_stream(self):
+        monitor = ResidualMonitor(ewma_alpha=0.5, miss_alpha=0.5)
+        monitor.update(0.2, missed=True)
+        monitor.update(-0.1, missed=False)
+        snap = monitor.snapshot()
+        assert snap.n_samples == 2
+        assert snap.signed_ewma == pytest.approx(0.05)
+        assert snap.abs_ewma == pytest.approx(0.15)
+        assert snap.miss_ewma == pytest.approx(0.5)
+
+    def test_under_quantile_ignores_overprediction(self):
+        monitor = ResidualMonitor()
+        for _ in range(50):
+            monitor.update(-0.3, missed=False)
+        assert monitor.snapshot().under_quantile == 0.0
+
+    def test_state_round_trip(self):
+        monitor = ResidualMonitor()
+        rng = random.Random(5)
+        for _ in range(60):
+            monitor.update(rng.gauss(0.05, 0.1), missed=rng.random() < 0.1)
+        other = ResidualMonitor()
+        other.load_state_dict(monitor.state_dict())
+        assert other.snapshot() == monitor.snapshot()

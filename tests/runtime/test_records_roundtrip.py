@@ -1,0 +1,96 @@
+"""Round-trip tests for run-result export: RunResult -> JSON/CSV -> back.
+
+Exported records are the interface to external analysis (dataframes,
+plotting); these tests pin that a parse of the export reproduces the
+original records exactly, including the NaN ``predicted_time_s`` of
+non-predicting governors (which JSON and CSV each encode differently).
+"""
+
+import math
+
+import pytest
+
+from repro.runtime.records import JobRecord, RunResult
+
+
+def _records_equal(a: JobRecord, b: JobRecord) -> bool:
+    for name in (
+        "index", "arrival_s", "start_s", "end_s", "deadline_s", "opp_mhz",
+        "exec_time_s", "predictor_time_s", "switch_time_s",
+        "predicted_time_s", "adaptation_time_s",
+    ):
+        va, vb = getattr(a, name), getattr(b, name)
+        both_nan = (
+            isinstance(va, float) and isinstance(vb, float)
+            and math.isnan(va) and math.isnan(vb)
+        )
+        if not both_nan and va != vb:
+            return False
+    return True
+
+
+@pytest.fixture
+def result() -> RunResult:
+    jobs = [
+        JobRecord(
+            index=0, arrival_s=0.0, start_s=0.0, end_s=0.04,
+            deadline_s=0.05, opp_mhz=1400.0, exec_time_s=0.038,
+            predictor_time_s=2.5e-4, switch_time_s=1e-4,
+            predicted_time_s=0.041, adaptation_time_s=3e-5,
+        ),
+        # A non-predicting governor's record: NaN prediction, a miss.
+        JobRecord(
+            index=1, arrival_s=0.05, start_s=0.05, end_s=0.11,
+            deadline_s=0.10, opp_mhz=600.0, exec_time_s=0.06,
+        ),
+    ]
+    return RunResult(
+        governor="adaptive",
+        app="ldecode",
+        budget_s=0.05,
+        jobs=jobs,
+        energy_j=1.25,
+        energy_by_tag={"job": 1.0, "predictor": 0.15, "switch": 0.1},
+        switch_count=3,
+    )
+
+
+class TestJsonRoundTrip:
+    def test_summary_fields_survive(self, result):
+        back = RunResult.from_json(result.to_json())
+        assert back.governor == result.governor
+        assert back.app == result.app
+        assert back.budget_s == result.budget_s
+        assert back.energy_j == result.energy_j
+        assert back.energy_by_tag == result.energy_by_tag
+        assert back.switch_count == result.switch_count
+
+    def test_jobs_survive_exactly(self, result):
+        back = RunResult.from_json(result.to_json())
+        assert len(back.jobs) == len(result.jobs)
+        for a, b in zip(result.jobs, back.jobs):
+            assert _records_equal(a, b)
+
+    def test_derived_properties_agree(self, result):
+        back = RunResult.from_json(result.to_json())
+        assert back.miss_rate == result.miss_rate
+        assert back.jobs[1].missed
+        assert back.mean_adaptation_time_s == result.mean_adaptation_time_s
+
+    def test_double_round_trip_is_stable(self, result):
+        once = RunResult.from_json(result.to_json())
+        twice = RunResult.from_json(once.to_json())
+        assert once.to_json() == twice.to_json()
+
+
+class TestCsvRoundTrip:
+    def test_jobs_survive_exactly(self, result):
+        back = RunResult.jobs_from_csv(result.jobs_as_csv())
+        assert len(back) == len(result.jobs)
+        for a, b in zip(result.jobs, back):
+            assert _records_equal(a, b)
+
+    def test_nan_prediction_becomes_nan_again(self, result):
+        back = RunResult.jobs_from_csv(result.jobs_as_csv())
+        assert math.isnan(back[1].predicted_time_s)
+        assert not math.isnan(back[0].predicted_time_s)
