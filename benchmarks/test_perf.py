@@ -98,3 +98,87 @@ def test_perf_one_governed_job(benchmark):
 
     result = benchmark(one_job)
     assert result.n_jobs == 1
+
+
+def _smoke_run(telemetry=None, n_jobs=50):
+    """A governed smoke run (no training) used by the telemetry guards."""
+    from repro.governors.interactive import InteractiveGovernor
+    from repro.runtime import TaskLoopRunner
+
+    app = get_app("sha")
+    board = Board(opps=OPPS)
+    runner = TaskLoopRunner(
+        board,
+        app.task,
+        InteractiveGovernor(OPPS),
+        app.inputs(n_jobs, seed=0),
+        telemetry=telemetry,
+    )
+    return runner.run()
+
+
+def _best_of(fn, rounds=5):
+    import time as _time
+
+    best = float("inf")
+    for _ in range(rounds):
+        start = _time.perf_counter()
+        fn()
+        best = min(best, _time.perf_counter() - start)
+    return best
+
+
+def test_perf_telemetry_noop_under_two_percent():
+    """The disabled-telemetry machinery must cost <2% of a smoke run.
+
+    With no sink attached the executor still evaluates its
+    ``telemetry.enabled`` guards and one ``has_decision_for()`` call per
+    job.  Time those no-op checks directly, at the per-job multiplicity
+    the instrumented hot path performs, and demand they stay under 2% of
+    the smoke run's wall time.
+    """
+    import time as _time
+
+    from repro.telemetry import NO_TELEMETRY
+
+    n_jobs = 50
+    t_run = _best_of(lambda: _smoke_run(telemetry=None, n_jobs=n_jobs))
+
+    checks_per_job = 16  # generous upper bound on guarded sites per job
+    start = _time.perf_counter()
+    for _ in range(n_jobs * checks_per_job):
+        if NO_TELEMETRY.enabled:
+            raise AssertionError("null telemetry must stay disabled")
+    for index in range(n_jobs):
+        NO_TELEMETRY.has_decision_for(index)
+    t_checks = _time.perf_counter() - start
+
+    assert t_checks < 0.02 * t_run, (
+        f"no-op telemetry checks took {t_checks * 1e3:.3f} ms against a "
+        f"{t_run * 1e3:.1f} ms smoke run (>{2}% budget)"
+    )
+
+
+def test_perf_telemetry_enabled_overhead_bounded():
+    """Recording everything must stay within 2x of the bare run.
+
+    A loose tripwire (best-of-5 wall time) so an accidental O(n^2)
+    sink or per-event allocation storm fails CI rather than silently
+    doubling every traced experiment.
+    """
+    from repro.telemetry import Telemetry
+
+    t_noop = _best_of(lambda: _smoke_run(telemetry=None))
+    recorded = []
+
+    def run_enabled():
+        telemetry = Telemetry()
+        _smoke_run(telemetry=telemetry)
+        recorded.append(len(telemetry.events))
+
+    t_enabled = _best_of(run_enabled)
+    assert recorded[0] > 0, "enabled run must actually record events"
+    assert t_enabled < 2.0 * max(t_noop, 1e-4), (
+        f"enabled telemetry {t_enabled * 1e3:.1f} ms vs "
+        f"no-op {t_noop * 1e3:.1f} ms"
+    )

@@ -57,6 +57,9 @@ class DriftRow:
         mean_adaptation_ms: Mean per-job feedback (recalibration) time.
         drift_events: Drift alarms raised (adaptive governor only).
         final_margin: Safety margin at end of run (NaN unless adaptive).
+        p95_exec_ms: 95th-percentile per-job execution time.
+        p05_slack_ms: 5th-percentile slack — the tight tail (negative
+            means the tail missed).
     """
 
     governor: str
@@ -69,6 +72,8 @@ class DriftRow:
     mean_adaptation_ms: float
     drift_events: int = 0
     final_margin: float = float("nan")
+    p95_exec_ms: float = float("nan")
+    p05_slack_ms: float = float("nan")
 
 
 @dataclass(frozen=True)
@@ -167,6 +172,7 @@ def run(
             governor=governor,
             inputs=inputs,
             interpreter=lab.interpreter,
+            telemetry=lab.telemetry_for(f"drift.{app_name}.{name}"),
         )
         results[name] = (runner.run(), governor)
 
@@ -202,6 +208,8 @@ def run(
                 mean_adaptation_ms=result.mean_adaptation_time_s * 1e3,
                 drift_events=drift_events,
                 final_margin=final_margin,
+                p95_exec_ms=result.exec_time_percentile(95) * 1e3,
+                p05_slack_ms=result.slack_percentile(5) * 1e3,
             )
         )
     return DriftAdaptationResult(
@@ -230,12 +238,15 @@ def render(result: DriftAdaptationResult) -> str:
                 f"{r.mean_predictor_ms:.3f}",
                 f"{r.mean_adaptation_ms:.3f}",
                 r.drift_events,
+                f"{r.p95_exec_ms:.2f}",
+                f"{r.p05_slack_ms:.2f}",
             )
         )
     return format_table(
         headers=[
             "governor", "pre-miss", "post-miss", "final-miss",
             "energy[J]", "vs-perf", "pred[ms]", "adapt[ms]", "alarms",
+            "p95-exec[ms]", "p05-slack[ms]",
         ],
         rows=rows,
         title=(

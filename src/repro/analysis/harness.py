@@ -32,6 +32,7 @@ from repro.programs.interpreter import Interpreter
 from repro.runtime.executor import TaskLoopRunner
 from repro.runtime.placement import PredictorPlacement
 from repro.runtime.records import RunResult
+from repro.telemetry import NO_TELEMETRY, Telemetry, TraceSession
 from repro.workloads.base import InteractiveApp
 from repro.workloads.registry import get_app
 
@@ -78,6 +79,10 @@ class Lab:
         pipeline_config: Offline-training configuration.
         jitter_sigma: Run-to-run timing noise for evaluation runs.
         seed: Base seed; every run derives its own streams from it.
+        trace_session: Optional telemetry session (``--trace DIR``).
+            When set, every run gets its own named
+            :class:`~repro.telemetry.Telemetry` wired into the runner,
+            and run caching is bypassed so each trace is complete.
     """
 
     def __init__(
@@ -88,6 +93,7 @@ class Lab:
         seed: int = 42,
         switch_samples: int = 100,
         power: PowerModel | None = None,
+        trace_session: TraceSession | None = None,
     ):
         self.opps = opps if opps is not None else default_xu3_a7_table()
         self.power = power
@@ -100,9 +106,21 @@ class Lab:
         self.switch_table = SwitchLatencyModel(
             self.opps, seed=seed
         ).microbenchmark(samples_per_pair=switch_samples)
+        self.trace_session = trace_session
         self._controllers: dict[tuple, TrainedController] = {}
         self._apps: dict[str, InteractiveApp] = {}
         self._run_cache: dict[_RunKey, RunResult] = {}
+
+    def telemetry_for(self, run_name: str) -> Telemetry:
+        """A telemetry pipeline for one run (no-op without a session).
+
+        Experiments that build their own runners (the drift study) call
+        this so their runs land in the same ``--trace`` directory as
+        :meth:`run`'s.
+        """
+        if self.trace_session is None:
+            return NO_TELEMETRY
+        return self.trace_session.telemetry_for(run_name)
 
     # -- construction helpers ---------------------------------------------------
     def app(self, name: str) -> InteractiveApp:
@@ -231,7 +249,12 @@ class Lab:
             charge_switch=charge_switch,
             placement=placement,
         )
-        cacheable = use_cache and pipeline_config is None
+        telemetry = self.telemetry_for(f"{app_name}.{governor_name}")
+        # A cached result has no trace; with a session active every run
+        # must actually execute so its telemetry is complete.
+        cacheable = (
+            use_cache and pipeline_config is None and not telemetry.enabled
+        )
         if cacheable and key in self._run_cache:
             return self._run_cache[key]
 
@@ -253,6 +276,7 @@ class Lab:
             charge_predictor=charge_predictor,
             charge_switch=charge_switch,
             provide_oracle_work=(governor_name == "oracle"),
+            telemetry=telemetry,
         )
         result = runner.run()
         if cacheable:

@@ -7,13 +7,18 @@ Usage::
     python -m repro fig15 fig21          # several
     python -m repro all                  # everything (minutes)
     python -m repro fig16 --app sha      # figure-specific options
+    python -m repro drift --trace DIR    # + Chrome traces/telemetry in DIR
+    python -m repro report DIR           # summarize a trace directory
+    python -m repro report DIR_A DIR_B   # diff two trace directories
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import enum
 import json
+import math
 import pathlib
 import sys
 import time
@@ -21,6 +26,7 @@ from typing import Callable
 
 from repro.analysis.harness import Lab
 from repro.analysis import experiments as exp
+from repro.telemetry import TraceSession, diff_directories, summarize_directory
 
 __all__ = ["main"]
 
@@ -53,6 +59,7 @@ def _list_experiments() -> str:
     for name, (description, _) in _EXPERIMENTS.items():
         lines.append(f"  {name:8s} {description}")
     lines.append("  all      run everything above")
+    lines.append("  report   summarize one trace directory, or diff two")
     return "\n".join(lines)
 
 
@@ -95,9 +102,19 @@ def main(argv: list[str] | None = None) -> int:
         help="also write each experiment's table (<name>.txt) and raw "
         "result (<name>.json) into DIR",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record run telemetry into DIR: per-run Chrome trace JSON "
+        "(open in ui.perfetto.dev), JSONL event streams, decision audit "
+        "logs, metrics dumps, and text reports",
+    )
     args = parser.parse_args(argv)
 
     requested = [_ALIASES.get(e, e) for e in args.experiments]
+    if requested[0] == "report":
+        return _report_command(args.experiments[1:])
     if "list" in requested:
         print(_list_experiments())
         return 0
@@ -114,7 +131,13 @@ def main(argv: list[str] | None = None) -> int:
         output_dir = pathlib.Path(args.output)
         output_dir.mkdir(parents=True, exist_ok=True)
 
-    lab = Lab(jitter_sigma=args.jitter, seed=args.seed)
+    trace_session = None
+    if args.trace is not None:
+        trace_session = TraceSession(args.trace)
+
+    lab = Lab(
+        jitter_sigma=args.jitter, seed=args.seed, trace_session=trace_session
+    )
     for name in requested:
         _, module = _EXPERIMENTS[name]
         kwargs = {}
@@ -133,26 +156,71 @@ def main(argv: list[str] | None = None) -> int:
         if output_dir is not None:
             (output_dir / f"{name}.txt").write_text(rendered + "\n")
             (output_dir / f"{name}.json").write_text(_result_json(result))
+    if trace_session is not None:
+        written = trace_session.flush()
+        runs = len(trace_session.runs)
+        print(
+            f"[trace: {runs} run(s), {len(written)} file(s) -> "
+            f"{trace_session.directory}]"
+        )
     return 0
 
 
-def _result_json(result) -> str:
-    """Best-effort JSON for an experiment result dataclass."""
-    def default(value):
-        if dataclasses.is_dataclass(value) and not isinstance(value, type):
-            return dataclasses.asdict(value)
-        if isinstance(value, (set, frozenset)):
-            return sorted(value)
-        if isinstance(value, float) and value != value:  # NaN
-            return None
-        return str(value)
+def _report_command(directories: list[str]) -> int:
+    """``repro report DIR [DIR_B]`` — summarize or diff trace output."""
+    if not 1 <= len(directories) <= 2:
+        print(
+            "usage: repro report TRACE_DIR [TRACE_DIR_B]", file=sys.stderr
+        )
+        return 2
+    try:
+        if len(directories) == 1:
+            print(summarize_directory(directories[0]))
+        else:
+            print(diff_directories(directories[0], directories[1]))
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    return 0
 
-    payload = (
-        dataclasses.asdict(result)
-        if dataclasses.is_dataclass(result) and not isinstance(result, type)
-        else result
-    )
-    return json.dumps(payload, default=default)
+
+def _jsonable(value):
+    """Recursively convert an experiment result to JSON-safe types.
+
+    Handles nested dataclasses, numpy scalars and arrays (via their
+    ``tolist`` duck type, so numpy need not be imported here), enums,
+    sets, and non-finite floats (NaN/inf become null).  Anything else
+    falls back to ``str`` as a last resort.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return _jsonable(value.value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    # numpy scalars and arrays both expose tolist(); the result is plain
+    # Python (possibly nested lists / non-finite floats), so recurse.
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return _jsonable(tolist())
+    return str(value)
+
+
+def _result_json(result) -> str:
+    """Strict JSON for an experiment result dataclass (round-trippable:
+    no NaN tokens, no stringified numpy scalars)."""
+    return json.dumps(_jsonable(result), allow_nan=False)
 
 
 if __name__ == "__main__":

@@ -216,28 +216,62 @@ class AdaptiveGovernor(Governor):
     def start(self, board: Board, budget_s: float) -> None:
         self.fallback.start(board, budget_s)
 
+    def bind_telemetry(self, telemetry) -> None:
+        """Forward the run's telemetry to the composed governors too."""
+        super().bind_telemetry(telemetry)
+        self.inner.bind_telemetry(telemetry)
+        self.fallback.bind_telemetry(telemetry)
+
     def decide(self, ctx: JobContext) -> Decision | None:
         """Run the slice (always — shadow predictions feed recalibration),
         then decide via prediction or the fallback policy."""
         board = ctx.board
+        telemetry = self.telemetry
         outcome = self.inner.analyze(ctx)
         if ctx.charge_overheads:
+            slice_from = board.now
             slice_time = board.cpu.execution_time(
                 outcome.slice_work, board.current_opp
             )
             board.busy_run(slice_time, tag="predictor")
+            if telemetry.enabled:
+                telemetry.span(
+                    "predict.slice",
+                    slice_from,
+                    board.now,
+                    category="predictor",
+                    args={"job": ctx.index, "shadow": not self.predicting},
+                )
         # analyze() routed through the online predictor, which stashed the
         # encoded features and raw anchors for the post-job feedback.
         self._pending = (self.predictor.last_x, self.predictor.last_raw)
         if self.mode is AdaptiveMode.FALLBACK:
-            return self.fallback.decide(ctx)
+            decision = self.fallback.decide(ctx)
+            if telemetry.enabled and not telemetry.has_decision_for(ctx.index):
+                self.audit_decision(
+                    ctx,
+                    decision,
+                    margin=self.predictor.margin.value,
+                    mode=AdaptiveMode.FALLBACK.value,
+                    features=outcome.features,
+                )
+            return decision
         if ctx.charge_overheads:
             budget = (
                 ctx.deadline_s - board.now - self.inner.switch_estimate_s(ctx)
             )
         else:
             budget = ctx.deadline_s - board.now
-        return self.inner.choose(outcome, budget)
+        decision = self.inner.choose(outcome, budget)
+        self.audit_decision(
+            ctx,
+            decision,
+            effective_budget_s=budget,
+            margin=self.predictor.margin.value,
+            mode=AdaptiveMode.PREDICT.value,
+            features=outcome.features,
+        )
+        return decision
 
     def on_timer(self, now_s: float, utilization: float):
         """Utilization samples drive the fallback only while it is active."""
@@ -265,6 +299,22 @@ class AdaptiveGovernor(Governor):
         t_observed = record.exec_time_s
         residual = (t_observed - t_predicted) / max(t_predicted, _EPS)
 
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            now = ctx.board.now
+            telemetry.counter("residual_rel", now, residual)
+            telemetry.counter("margin", now, self.predictor.margin.value)
+            metrics = telemetry.metrics
+            metrics.counter("adaptive.recalibration_steps").inc()
+            metrics.histogram(
+                "adaptive.abs_residual_rel",
+                bounds=[i / 50.0 for i in range(1, 101)],
+            ).observe(abs(residual))
+            metrics.gauge("adaptive.margin").set(self.predictor.margin.value)
+            metrics.gauge("adaptive.detector_statistic").set(
+                self.detector.statistic
+            )
+
         self.monitor.update(residual, record.missed)
         # Project the observation to both anchors with the model's own
         # time decomposition: a multiplicative residual at the executed
@@ -283,6 +333,22 @@ class AdaptiveGovernor(Governor):
                 self.mode = AdaptiveMode.FALLBACK
                 self.jobs_in_mode = 0
                 self.drift_events += 1
+                if telemetry.enabled:
+                    telemetry.instant(
+                        "drift.alarm",
+                        ctx.board.now,
+                        track="online",
+                        category="drift",
+                        args={
+                            "job": record.index,
+                            "statistic": self.detector.statistic,
+                            "residual": residual,
+                        },
+                    )
+                    telemetry.metrics.counter("adaptive.drift_alarms").inc()
+                    telemetry.metrics.counter(
+                        "adaptive.transitions[predict->fallback]"
+                    ).inc()
         else:
             stable = (
                 self.jobs_in_mode >= self.config.cooldown_jobs
@@ -293,6 +359,17 @@ class AdaptiveGovernor(Governor):
                 self.mode = AdaptiveMode.PREDICT
                 self.jobs_in_mode = 0
                 self.detector.reset()
+                if telemetry.enabled:
+                    telemetry.instant(
+                        "drift.reengage",
+                        ctx.board.now,
+                        track="online",
+                        category="drift",
+                        args={"job": record.index},
+                    )
+                    telemetry.metrics.counter(
+                        "adaptive.transitions[fallback->predict]"
+                    ).inc()
 
         n = self.predictor.n_features
         return Work(

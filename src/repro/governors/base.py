@@ -25,9 +25,11 @@ from repro.platform.board import Board
 from repro.platform.cpu import Work
 from repro.platform.opp import OperatingPoint
 from repro.programs.expr import Value
+from repro.telemetry import NO_TELEMETRY, DecisionRecord
 
 if TYPE_CHECKING:  # avoid a circular import with the runtime package
     from repro.runtime.records import JobRecord
+    from repro.telemetry import Telemetry
 
 __all__ = ["JobContext", "Decision", "Governor"]
 
@@ -79,6 +81,11 @@ class Governor(ABC):
     #: Sampling period for utilization-driven policies; None disables timers.
     timer_period_s: float | None = None
 
+    #: Run telemetry the executor binds before a run.  The no-op default
+    #: means a governor may always write to it — when tracing is off the
+    #: writes vanish at zero cost (guard hot paths with ``.enabled``).
+    telemetry: "Telemetry" = NO_TELEMETRY
+
     @property
     @abstractmethod
     def name(self) -> str:
@@ -86,6 +93,54 @@ class Governor(ABC):
 
     def start(self, board: Board, budget_s: float) -> None:
         """One-time setup before the first job (e.g. initial frequency)."""
+
+    def bind_telemetry(self, telemetry: "Telemetry") -> None:
+        """Attach a run's telemetry pipeline (optional observability hook).
+
+        The executor calls this once per run.  Governors that compose
+        other governors (adaptive's fallback, batch wrappers) should
+        override it and forward the binding to their delegates.
+        """
+        self.telemetry = telemetry
+
+    def audit_decision(
+        self,
+        ctx: JobContext,
+        decision: Decision | None,
+        *,
+        effective_budget_s: float = float("nan"),
+        margin: float = float("nan"),
+        mode: str = "",
+        features: Mapping[str, float] | None = None,
+    ) -> None:
+        """Record this job's decision (and its inputs) in the audit log.
+
+        Instrumented governors call this from :meth:`decide` with the
+        rich inputs only they know (slice features, predicted time,
+        effective budget, margin).  For governors that never call it,
+        the executor appends a bare record, so the log still covers
+        every decision of the run.
+        """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return
+        telemetry.record_decision(
+            DecisionRecord(
+                job_index=ctx.index,
+                t_s=ctx.board.now,
+                governor=self.name,
+                opp_mhz=decision.opp.freq_mhz if decision is not None else None,
+                predicted_time_s=(
+                    decision.predicted_time_s
+                    if decision is not None
+                    else float("nan")
+                ),
+                effective_budget_s=effective_budget_s,
+                margin=margin,
+                mode=mode,
+                features=dict(features) if features is not None else {},
+            )
+        )
 
     @abstractmethod
     def decide(self, ctx: JobContext) -> Decision | None:

@@ -31,10 +31,13 @@ class SliceOutcome:
     Attributes:
         slice_work: What the slice itself cost to run.
         prediction: Margin-inflated anchor-time predictions.
+        features: The slice's feature counters (site label -> value);
+            kept for the decision audit log.
     """
 
     slice_work: Work
     prediction: TimePrediction
+    features: dict[str, float] | None = None
 
 
 class PredictiveGovernor(Governor):
@@ -81,6 +84,7 @@ class PredictiveGovernor(Governor):
         return SliceOutcome(
             slice_work=slice_result.work,
             prediction=self.predictor.predict(slice_result.features),
+            features=dict(slice_result.features.counters),
         )
 
     def switch_estimate_s(self, ctx: JobContext) -> float:
@@ -107,18 +111,43 @@ class PredictiveGovernor(Governor):
         )
         return Decision(opp, predicted_time_s=components.time_at(opp.freq_hz))
 
+    def margin_value(self) -> float:
+        """The current safety margin (adaptive predictors expose an
+        :class:`~repro.online.recalibrate.AdaptiveMargin`; the frozen
+        predictor a plain float)."""
+        margin = getattr(self.predictor, "margin", None)
+        value = getattr(margin, "value", margin)
+        return float(value) if isinstance(value, (int, float)) else float("nan")
+
     def decide(self, ctx: JobContext) -> Decision | None:
         """Sequential placement: slice, charge its time, then choose."""
         board = ctx.board
         outcome = self.analyze(ctx)
         if ctx.charge_overheads:
+            slice_from = board.now
             slice_time = board.cpu.execution_time(
                 outcome.slice_work, board.current_opp
             )
             board.busy_run(slice_time, tag="predictor")
+            if self.telemetry.enabled:
+                self.telemetry.span(
+                    "predict.slice",
+                    slice_from,
+                    board.now,
+                    category="predictor",
+                    args={"job": ctx.index},
+                )
             effective_budget = (
                 ctx.deadline_s - board.now - self.switch_estimate_s(ctx)
             )
         else:
             effective_budget = ctx.deadline_s - board.now
-        return self.choose(outcome, effective_budget)
+        decision = self.choose(outcome, effective_budget)
+        self.audit_decision(
+            ctx,
+            decision,
+            effective_budget_s=effective_budget,
+            margin=self.margin_value(),
+            features=outcome.features,
+        )
+        return decision

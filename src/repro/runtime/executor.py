@@ -32,6 +32,7 @@ from repro.programs.interpreter import Interpreter
 from repro.runtime.placement import PredictorPlacement
 from repro.runtime.records import JobRecord, RunResult
 from repro.runtime.task import Task
+from repro.telemetry import NO_TELEMETRY, DecisionRecord, Telemetry
 
 __all__ = ["TaskLoopRunner"]
 
@@ -54,6 +55,9 @@ class TaskLoopRunner:
         charge_switch: Charge DVFS switch time/energy (False for Fig. 18).
         provide_oracle_work: Give governors the true per-job work
             (required by the oracle governor only).
+        telemetry: Run observability pipeline (spans, metrics, decision
+            audit).  Defaults to the zero-cost no-op; telemetry never
+            influences the simulation, only records it.
     """
 
     def __init__(
@@ -68,6 +72,7 @@ class TaskLoopRunner:
         charge_predictor: bool = True,
         charge_switch: bool = True,
         provide_oracle_work: bool = False,
+        telemetry: Telemetry | None = None,
     ):
         if not inputs:
             raise ValueError("need at least one job input")
@@ -81,6 +86,7 @@ class TaskLoopRunner:
         self.charge_predictor = charge_predictor
         self.charge_switch = charge_switch
         self.provide_oracle_work = provide_oracle_work
+        self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
         # Timer state for utilization-sampled governors.
         self._timer_period = governor.timer_period_s
         self._next_timer = (
@@ -100,13 +106,28 @@ class TaskLoopRunner:
     def run(self) -> RunResult:
         """Execute every job; return the aggregated result."""
         period = self.task.budget_s
+        telemetry = self.telemetry
+        self.governor.bind_telemetry(telemetry)
         self.governor.start(self.board, self.task.budget_s)
+        if telemetry.enabled:
+            telemetry.counter(
+                "freq_mhz", self.board.now, self.board.current_opp.freq_mhz
+            )
         task_globals = self.task.program.fresh_globals()
         records: list[JobRecord] = []
 
         for index, job_inputs in enumerate(self.inputs):
             arrival = index * period
+            wait_from = self.board.now
             self._wait_for_arrival(arrival)
+            if telemetry.enabled and self.board.now > wait_from:
+                telemetry.span(
+                    "release.wait",
+                    wait_from,
+                    self.board.now,
+                    category="idle",
+                    args={"job": index},
+                )
             records.append(
                 self._run_one_job(index, arrival, job_inputs, task_globals)
             )
@@ -164,21 +185,69 @@ class TaskLoopRunner:
         ).work
         jitter = board.cpu.jitter.sample()
 
+        telemetry = self.telemetry
+        decide_from = board.now
         predictor_time, decision, partial_exec, remaining = self._decide(
             ctx, work, jitter
         )
+        if telemetry.enabled:
+            telemetry.span(
+                "predict",
+                decide_from,
+                board.now,
+                category="predictor",
+                args={"job": index},
+            )
+            # Governors that don't self-report still land in the audit
+            # log, with the fields every decision has.
+            if not telemetry.has_decision_for(index):
+                telemetry.record_decision(
+                    DecisionRecord(
+                        job_index=index,
+                        t_s=board.now,
+                        governor=self.governor.name,
+                        opp_mhz=(
+                            decision.opp.freq_mhz
+                            if decision is not None
+                            else None
+                        ),
+                        predicted_time_s=(
+                            decision.predicted_time_s
+                            if decision is not None
+                            else float("nan")
+                        ),
+                    )
+                )
         target = decision.opp if decision is not None else self._restore_opp
         self._restore_opp = None
 
         switch_time = 0.0
         if target is not None and target.index != board.current_opp.index:
+            switch_from = board.now
             switch_time = self._switch(target)
+            if telemetry.enabled and switch_time > 0:
+                telemetry.span(
+                    "switch",
+                    switch_from,
+                    board.now,
+                    category="switch",
+                    args={"job": index, "to_mhz": target.freq_mhz},
+                )
 
         opp_mhz = board.current_opp.freq_mhz
+        exec_from = board.now
         exec_time, mid_switch, _ = self._execute_work(
             work, jitter, remaining=remaining
         )
         end = board.now
+        if telemetry.enabled:
+            telemetry.span(
+                "execute",
+                exec_from,
+                end,
+                category="job",
+                args={"job": index, "start_mhz": opp_mhz},
+            )
 
         # Commit the job's state change to the live globals.
         self.interpreter.execute(self.task.program, job_inputs, task_globals)
@@ -197,6 +266,7 @@ class TaskLoopRunner:
                 decision.predicted_time_s if decision is not None else float("nan")
             ),
         )
+        report_from = board.now
         feedback_work = self.governor.on_job_end(record, ctx)
         if feedback_work is not None and self.charge_predictor:
             # Adaptation runs in the slack after the job completes; it
@@ -208,7 +278,52 @@ class TaskLoopRunner:
             record = dataclasses.replace(
                 record, adaptation_time_s=adaptation_time
             )
+        if telemetry.enabled:
+            if board.now > report_from:
+                telemetry.span(
+                    "report",
+                    report_from,
+                    board.now,
+                    category="predictor",
+                    args={"job": index},
+                )
+            telemetry.span(
+                "job",
+                start,
+                board.now,
+                category="job",
+                args={"job": index, "missed": record.missed},
+            )
+            if record.missed:
+                telemetry.instant(
+                    "deadline.miss",
+                    record.end_s,
+                    category="deadline",
+                    args={"job": index, "late_s": -record.slack_s},
+                )
+            self._observe_job(record)
         return record
+
+    def _observe_job(self, record: JobRecord) -> None:
+        """Feed the per-job metrics (telemetry enabled only)."""
+        metrics = self.telemetry.metrics
+        metrics.counter("executor.jobs").inc()
+        if record.missed:
+            metrics.counter("executor.misses").inc()
+        metrics.histogram("executor.slack_s").observe(record.slack_s)
+        metrics.histogram("executor.exec_time_s").observe(record.exec_time_s)
+        if record.predictor_time_s > 0:
+            metrics.histogram("executor.predictor_time_s").observe(
+                record.predictor_time_s
+            )
+        if record.switch_time_s > 0:
+            metrics.histogram("executor.switch_time_s").observe(
+                record.switch_time_s
+            )
+        if record.adaptation_time_s > 0:
+            metrics.histogram("executor.adaptation_time_s").observe(
+                record.adaptation_time_s
+            )
 
     def _decide(
         self, ctx: JobContext, work: Work, jitter: float
@@ -269,9 +384,15 @@ class TaskLoopRunner:
             return 0.0
         self._switches += 1
         if self.charge_switch:
-            return self.board.set_frequency(target)
-        self.board.set_frequency_free(target)
-        return 0.0
+            latency = self.board.set_frequency(target)
+        else:
+            self.board.set_frequency_free(target)
+            latency = 0.0
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.counter("freq_mhz", self.board.now, target.freq_mhz)
+            telemetry.metrics.counter("executor.switches").inc()
+        return latency
 
     def _wait_for_arrival(self, arrival: float) -> None:
         """Idle (with timers and optional fmin idling) until release time."""
@@ -326,6 +447,10 @@ class TaskLoopRunner:
                     break
             if self._next_timer is not None:
                 chunk = min(chunk, max(self._next_timer - board.now, _EPS))
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    f"executor.residency_s[{board.current_opp.freq_mhz:g}]"
+                ).inc(chunk)
             board.busy_run(chunk, tag="job")
             self._window_busy_s += chunk
             spent += chunk
@@ -346,5 +471,18 @@ class TaskLoopRunner:
             self._window_busy_s = 0.0
             self._next_timer += self._timer_period
             if target is not None and target.index != self.board.current_opp.index:
+                if self.telemetry.enabled:
+                    self.telemetry.instant(
+                        "timer.retarget",
+                        self.board.now,
+                        category="governor",
+                        args={
+                            "utilization": utilization,
+                            "to_mhz": target.freq_mhz,
+                        },
+                    )
+                    self.telemetry.metrics.counter(
+                        "executor.timer_retargets"
+                    ).inc()
                 switch_time += self._switch(target)
         return switch_time

@@ -13,6 +13,8 @@ import json
 import math
 from dataclasses import dataclass, field
 
+from repro.telemetry.metrics import percentile
+
 __all__ = ["JobRecord", "RunResult"]
 
 
@@ -124,6 +126,24 @@ class RunResult:
         if not self.jobs:
             return 0.0
         return sum(j.adaptation_time_s for j in self.jobs) / len(self.jobs)
+
+    def exec_time_percentile(self, pct: float) -> float:
+        """The ``pct``-th percentile of per-job execution time (seconds).
+
+        Shares :func:`repro.telemetry.metrics.percentile` with the
+        metrics histograms, so report quantiles and result quantiles
+        use one interpolation convention.
+        """
+        return percentile(self.exec_times_s, pct)
+
+    def slack_percentile(self, pct: float) -> float:
+        """The ``pct``-th percentile of per-job slack (seconds).
+
+        Low percentiles are the interesting tail: p5 slack is how close
+        the tightest jobs came to (or past) their deadline — negative
+        values are misses.
+        """
+        return percentile([j.slack_s for j in self.jobs], pct)
 
     def energy_relative_to(self, reference: "RunResult") -> float:
         """This run's energy as a fraction of ``reference``'s (Fig. 15)."""

@@ -1,0 +1,68 @@
+"""Telemetry for the control loop: spans, metrics, audits, exporters.
+
+The subsystem that makes a run *observable*: per-job spans on the
+simulated clock, a metrics registry (counters, gauges, fixed-bucket
+histograms), a governor decision audit log, and exporters to Chrome
+trace-event JSON (Perfetto), JSONL, and plain-text reports.
+
+Everything here is dependency-free and import-cycle-free: the runtime,
+the governors, and the online-adaptation loop all write into one
+:class:`Telemetry` per run, and :data:`NO_TELEMETRY` is the zero-cost
+default when tracing is off.  See ``docs/telemetry.md``.
+"""
+
+from repro.telemetry.audit import DecisionRecord
+from repro.telemetry.events import (
+    NO_TELEMETRY,
+    CallbackSink,
+    ListSink,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySink,
+    TraceEvent,
+)
+from repro.telemetry.exporters import (
+    TraceSession,
+    chrome_trace,
+    decisions_jsonl,
+    events_jsonl,
+    write_run,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    geometric_buckets,
+    percentile,
+)
+from repro.telemetry.report import (
+    diff_directories,
+    render_report,
+    summarize_directory,
+)
+
+__all__ = [
+    "DecisionRecord",
+    "TraceEvent",
+    "TelemetrySink",
+    "ListSink",
+    "CallbackSink",
+    "Telemetry",
+    "NullTelemetry",
+    "NO_TELEMETRY",
+    "TraceSession",
+    "chrome_trace",
+    "events_jsonl",
+    "decisions_jsonl",
+    "write_run",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "geometric_buckets",
+    "percentile",
+    "render_report",
+    "summarize_directory",
+    "diff_directories",
+]

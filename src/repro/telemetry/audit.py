@@ -1,0 +1,72 @@
+"""The governor decision audit log.
+
+Every frequency decision the control loop takes is worth being able to
+replay: what the predictor saw (features), what it believed (predicted
+time, margin), what it had to work with (effective budget), and what it
+chose (the OPP).  :class:`DecisionRecord` is the schema; the log itself
+is the ordered list a :class:`~repro.telemetry.events.Telemetry`
+accumulates, one entry per job.
+
+Instrumented governors (prediction, adaptive) report rich records via
+the :meth:`~repro.governors.base.Governor.audit_decision` hook; for
+everything else the executor appends a bare record so the log covers
+*every* decision, not just the predictive ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["DecisionRecord"]
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One governor decision with the inputs that produced it.
+
+    Attributes:
+        job_index: Which job the decision was for.
+        t_s: Simulated time the decision was taken at.
+        governor: Name of the deciding governor.
+        opp_mhz: Chosen frequency in MHz; None when the governor had no
+            opinion (utilization-driven policies between timer fires).
+        predicted_time_s: Predicted execution time at the chosen level
+            (NaN for non-predictive policies).
+        effective_budget_s: Budget after slice time and the conservative
+            switch estimate were subtracted (NaN when not applicable).
+        margin: Safety margin in force when the prediction was made.
+        mode: Decision path for mode machines (``predict``/``fallback``);
+            empty for single-mode governors.
+        features: Slice feature counters the prediction consumed
+            (site label -> value); empty for non-predictive policies.
+    """
+
+    job_index: int
+    t_s: float
+    governor: str
+    opp_mhz: float | None
+    predicted_time_s: float = float("nan")
+    effective_budget_s: float = float("nan")
+    margin: float = float("nan")
+    mode: str = ""
+    features: Mapping[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict (NaN becomes None, features copied)."""
+
+        def clean(value: float) -> float | None:
+            return None if math.isnan(value) else value
+
+        return {
+            "job_index": self.job_index,
+            "t_s": self.t_s,
+            "governor": self.governor,
+            "opp_mhz": self.opp_mhz,
+            "predicted_time_s": clean(self.predicted_time_s),
+            "effective_budget_s": clean(self.effective_budget_s),
+            "margin": clean(self.margin),
+            "mode": self.mode,
+            "features": dict(self.features),
+        }

@@ -1,0 +1,177 @@
+"""Exporters: Chrome trace-event JSON, JSONL streams, and trace sessions.
+
+The Chrome trace format is the JSON-object flavour documented by the
+Trace Event Format spec and accepted by ``chrome://tracing`` and
+Perfetto's legacy importer: a ``traceEvents`` array of events with
+``name``/``ph``/``ts``/``pid``/``tid`` fields, microsecond timestamps,
+plus ``M``-phase metadata naming the process and the logical tracks.
+
+:class:`TraceSession` is the disk-facing driver used by ``--trace DIR``:
+it hands out one named :class:`~repro.telemetry.events.Telemetry` per
+run and, on :meth:`~TraceSession.flush`, writes four artifacts per run::
+
+    <name>.trace.json      Chrome trace (open in ui.perfetto.dev)
+    <name>.events.jsonl    raw event stream, one JSON object per line
+    <name>.decisions.jsonl governor decision audit log
+    <name>.metrics.json    metrics registry dump (report/diff input)
+    <name>.report.txt      plain-text summary
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from repro.telemetry.events import Telemetry, TraceEvent
+
+__all__ = [
+    "chrome_trace",
+    "events_jsonl",
+    "decisions_jsonl",
+    "write_run",
+    "TraceSession",
+]
+
+_PID = 1
+
+
+def _tracks(events: Iterable[TraceEvent]) -> dict[str, int]:
+    """Stable track-name -> tid mapping, in order of first appearance."""
+    tracks: dict[str, int] = {}
+    for event in events:
+        if event.track not in tracks:
+            tracks[event.track] = len(tracks) + 1
+    return tracks
+
+
+def chrome_trace(
+    events: Iterable[TraceEvent], name: str = "run"
+) -> dict:
+    """Convert events to a Chrome trace-event JSON object.
+
+    Seconds become integer-free microseconds (floats are legal in the
+    spec), spans map to complete (``X``) events, instants to ``i`` with
+    thread scope, and counters to ``C`` series.
+    """
+    events = list(events)
+    tracks = _tracks(events)
+    trace_events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": f"repro:{name}"},
+        }
+    ]
+    for track, tid in tracks.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for event in events:
+        payload: dict = {
+            "name": event.name,
+            "ph": event.phase,
+            "ts": event.ts_s * 1e6,
+            "pid": _PID,
+            "tid": tracks[event.track],
+            "cat": event.category or "run",
+            "args": dict(event.args),
+        }
+        if event.phase == "X":
+            payload["dur"] = event.dur_s * 1e6
+        elif event.phase == "i":
+            payload["s"] = "t"  # thread-scoped instant
+        trace_events.append(payload)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.telemetry", "run": name},
+    }
+
+
+def events_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Events as a JSONL stream (one object per line, spec field names)."""
+    lines = []
+    for event in events:
+        lines.append(
+            json.dumps(
+                {
+                    "name": event.name,
+                    "ph": event.phase,
+                    "ts_s": event.ts_s,
+                    "dur_s": event.dur_s,
+                    "track": event.track,
+                    "cat": event.category,
+                    "args": dict(event.args),
+                }
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def decisions_jsonl(telemetry: Telemetry) -> str:
+    """The decision audit log as JSONL."""
+    lines = [json.dumps(record.as_dict()) for record in telemetry.decisions]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_run(
+    telemetry: Telemetry, directory: pathlib.Path | str
+) -> list[pathlib.Path]:
+    """Write one run's artifacts into ``directory``; returns the paths."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    name = telemetry.name
+    written = []
+
+    def emit(suffix: str, text: str) -> None:
+        path = directory / f"{name}.{suffix}"
+        path.write_text(text)
+        written.append(path)
+
+    emit("trace.json", json.dumps(telemetry.chrome_trace()))
+    emit("events.jsonl", telemetry.events_jsonl())
+    emit("decisions.jsonl", decisions_jsonl(telemetry))
+    emit("metrics.json", json.dumps(telemetry.metrics.as_dict(), indent=2))
+    emit("report.txt", telemetry.report() + "\n")
+    return written
+
+
+class TraceSession:
+    """Hands out per-run telemetry and writes everything on flush.
+
+    Run names are uniquified (``name``, ``name-2``, ...) so sweeps that
+    revisit the same (app, governor) pair keep every trace.
+    """
+
+    def __init__(self, directory: pathlib.Path | str):
+        self.directory = pathlib.Path(directory)
+        self.runs: list[Telemetry] = []
+        self._names: set[str] = set()
+
+    def telemetry_for(self, name: str) -> Telemetry:
+        """A fresh enabled pipeline registered under a unique run name."""
+        unique = name
+        counter = 2
+        while unique in self._names:
+            unique = f"{name}-{counter}"
+            counter += 1
+        self._names.add(unique)
+        telemetry = Telemetry(name=unique)
+        self.runs.append(telemetry)
+        return telemetry
+
+    def flush(self) -> list[pathlib.Path]:
+        """Write all runs' artifacts; returns every path written."""
+        written = []
+        for telemetry in self.runs:
+            written.extend(write_run(telemetry, self.directory))
+        return written

@@ -1,0 +1,218 @@
+"""Plain-text telemetry reports: per-run summaries and run diffs.
+
+Two consumers: :func:`render_report` summarises a live
+:class:`~repro.telemetry.events.Telemetry` (span totals, metric
+snapshots, audit-log shape) and backs the ``<name>.report.txt`` export;
+:func:`summarize_directory` / :func:`diff_directories` power the
+``python -m repro report`` subcommand from the ``metrics.json`` files a
+:class:`~repro.telemetry.exporters.TraceSession` wrote, so two runs —
+say, before and after a controller change — can be compared without
+re-simulating either.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import defaultdict
+from typing import Iterable
+
+__all__ = [
+    "render_report",
+    "summarize_directory",
+    "diff_directories",
+]
+
+
+def _table(headers: list[str], rows: list[tuple], title: str = "") -> str:
+    """Minimal fixed-width table (kept local: telemetry is zero-dep)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value, unit_ms: bool = False) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value * 1e3:.3f}" if unit_ms else f"{value:.4g}"
+    return str(value)
+
+
+def render_report(telemetry) -> str:
+    """One run's telemetry as a human-readable summary."""
+    sections = [f"telemetry report: {telemetry.name}"]
+
+    spans: dict[str, list[float]] = defaultdict(list)
+    instants: dict[str, int] = defaultdict(int)
+    for event in telemetry.events:
+        if event.phase == "X":
+            spans[event.name].append(event.dur_s)
+        elif event.phase == "i" and event.category != "decision":
+            instants[event.name] += 1
+    if spans:
+        rows = [
+            (
+                name,
+                len(durs),
+                f"{sum(durs) * 1e3:.3f}",
+                f"{sum(durs) / len(durs) * 1e3:.4f}",
+                f"{max(durs) * 1e3:.4f}",
+            )
+            for name, durs in sorted(spans.items())
+        ]
+        sections.append(
+            _table(
+                ["span", "count", "total[ms]", "mean[ms]", "max[ms]"],
+                rows,
+                title="spans",
+            )
+        )
+    if instants:
+        rows = [(name, count) for name, count in sorted(instants.items())]
+        sections.append(_table(["event", "count"], rows, title="instants"))
+
+    metrics = telemetry.metrics.as_dict()
+    if metrics["counters"]:
+        rows = [(n, _fmt(v)) for n, v in metrics["counters"].items()]
+        sections.append(_table(["counter", "value"], rows, title="counters"))
+    if metrics["gauges"]:
+        rows = [(n, _fmt(v)) for n, v in metrics["gauges"].items()]
+        sections.append(_table(["gauge", "value"], rows, title="gauges"))
+    if metrics["histograms"]:
+        rows = [
+            (
+                name,
+                h["count"],
+                _fmt(h["mean"], unit_ms=True),
+                _fmt(h["p50"], unit_ms=True),
+                _fmt(h["p95"], unit_ms=True),
+                _fmt(h["p99"], unit_ms=True),
+                _fmt(h["max"], unit_ms=True),
+            )
+            for name, h in metrics["histograms"].items()
+        ]
+        sections.append(
+            _table(
+                ["histogram", "n", "mean[ms]", "p50[ms]", "p95[ms]",
+                 "p99[ms]", "max[ms]"],
+                rows,
+                title="histograms (values scaled as milliseconds)",
+            )
+        )
+
+    decisions = list(telemetry.decisions)
+    if decisions:
+        by_mode: dict[str, int] = defaultdict(int)
+        for record in decisions:
+            by_mode[record.mode or "-"] += 1
+        modes = ", ".join(f"{m}:{c}" for m, c in sorted(by_mode.items()))
+        sections.append(
+            f"decisions: {len(decisions)} audited (mode {modes})"
+        )
+    return "\n\n".join(sections)
+
+
+# -- directory summaries (the `report` subcommand) ----------------------------
+def _load_metrics(directory: pathlib.Path) -> dict[str, dict]:
+    """All ``<run>.metrics.json`` files in a trace directory, by run."""
+    runs = {}
+    for path in sorted(directory.glob("*.metrics.json")):
+        runs[path.name[: -len(".metrics.json")]] = json.loads(
+            path.read_text()
+        )
+    if not runs:
+        raise FileNotFoundError(
+            f"no *.metrics.json files under {directory} — "
+            "was it produced by --trace?"
+        )
+    return runs
+
+
+def summarize_directory(directory: pathlib.Path | str) -> str:
+    """Summary table over every run recorded in a trace directory."""
+    directory = pathlib.Path(directory)
+    runs = _load_metrics(directory)
+    rows = []
+    for name, metrics in runs.items():
+        counters = metrics["counters"]
+        hist = metrics["histograms"].get("executor.slack_s", {})
+        rows.append(
+            (
+                name,
+                int(counters.get("executor.jobs", 0)),
+                int(counters.get("executor.misses", 0)),
+                int(counters.get("executor.switches", 0)),
+                int(counters.get("adaptive.drift_alarms", 0)),
+                _fmt(hist.get("p50"), unit_ms=True),
+                _fmt(hist.get("p95"), unit_ms=True),
+            )
+        )
+    return _table(
+        ["run", "jobs", "misses", "switches", "alarms",
+         "slack-p50[ms]", "slack-p95[ms]"],
+        rows,
+        title=f"trace summary: {directory}",
+    )
+
+
+def _flatten(metrics: dict) -> dict[str, float]:
+    """Counters, gauges, and histogram p50/p95 as one flat mapping."""
+    flat: dict[str, float] = {}
+    for name, value in metrics["counters"].items():
+        flat[name] = value
+    for name, value in metrics["gauges"].items():
+        if value is not None:
+            flat[name] = value
+    for name, hist in metrics["histograms"].items():
+        for q in ("p50", "p95"):
+            if hist.get(q) is not None:
+                flat[f"{name}.{q}"] = hist[q]
+    return flat
+
+
+def diff_directories(
+    a: pathlib.Path | str, b: pathlib.Path | str
+) -> str:
+    """Metric-by-metric diff of two trace directories, by run name."""
+    a, b = pathlib.Path(a), pathlib.Path(b)
+    runs_a, runs_b = _load_metrics(a), _load_metrics(b)
+    shared = sorted(set(runs_a) & set(runs_b))
+    if not shared:
+        return (
+            f"no run names shared between {a} ({sorted(runs_a)}) "
+            f"and {b} ({sorted(runs_b)})"
+        )
+    sections = [f"trace diff: {a}  vs  {b}"]
+    for name in shared:
+        flat_a, flat_b = _flatten(runs_a[name]), _flatten(runs_b[name])
+        rows = []
+        for key in sorted(set(flat_a) | set(flat_b)):
+            va, vb = flat_a.get(key), flat_b.get(key)
+            if va == vb:
+                continue
+            if va is not None and vb is not None:
+                delta = vb - va
+                rows.append((key, _fmt(va), _fmt(vb), f"{delta:+.4g}"))
+            else:
+                rows.append((key, _fmt(va), _fmt(vb), "-"))
+        if rows:
+            sections.append(
+                _table(["metric", "a", "b", "delta"], rows, title=name)
+            )
+        else:
+            sections.append(f"{name}: identical")
+    only = sorted((set(runs_a) | set(runs_b)) - set(shared))
+    if only:
+        sections.append(f"runs present on one side only: {', '.join(only)}")
+    return "\n\n".join(sections)

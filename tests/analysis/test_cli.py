@@ -88,3 +88,133 @@ class TestRunResultExport:
     def test_jobs_as_dicts_flags_misses(self, result):
         rows = result.jobs_as_dicts()
         assert all(row["missed"] is False for row in rows)
+
+
+class TestResultJsonHardening:
+    """_result_json must survive nested dataclasses and numpy leakage."""
+
+    def test_nested_dataclasses(self):
+        import dataclasses
+
+        from repro.cli import _result_json
+
+        @dataclasses.dataclass
+        class Inner:
+            x: float
+            tags: tuple
+
+        @dataclasses.dataclass
+        class Outer:
+            name: str
+            rows: tuple
+
+        data = json.loads(
+            _result_json(Outer("demo", (Inner(1.5, ("a", "b")),)))
+        )
+        assert data == {"name": "demo", "rows": [{"x": 1.5, "tags": ["a", "b"]}]}
+
+    def test_numpy_scalars_and_arrays(self):
+        import dataclasses
+
+        import numpy as np
+
+        from repro.cli import _result_json
+
+        @dataclasses.dataclass
+        class Row:
+            count: object
+            mean: object
+            series: object
+
+        data = json.loads(
+            _result_json(
+                Row(np.int64(7), np.float64(0.25), np.array([1.0, 2.0]))
+            )
+        )
+        assert data == {"count": 7, "mean": 0.25, "series": [1.0, 2.0]}
+
+    def test_non_finite_floats_become_null(self):
+        from repro.cli import _result_json
+
+        text = _result_json(
+            {"nan": float("nan"), "inf": float("inf"), "ok": 1.0}
+        )
+        assert json.loads(text) == {"nan": None, "inf": None, "ok": 1.0}
+        assert "NaN" not in text and "Infinity" not in text
+
+    def test_enum_and_set_and_fallback(self):
+        import enum
+
+        from repro.cli import _result_json
+
+        class Mode(enum.Enum):
+            FALLBACK = "fallback"
+
+        data = json.loads(
+            _result_json(
+                {"mode": Mode.FALLBACK, "seen": {2, 1}, "path": object()}
+            )
+        )
+        assert data["mode"] == "fallback"
+        assert data["seen"] == [1, 2]
+        assert isinstance(data["path"], str)
+
+
+class TestCliTrace:
+    def test_trace_writes_run_artifacts(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        code = main(
+            [
+                "drift", "--app", "sha", "--jobs", "40",
+                "--trace", str(trace_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[trace: 3 run(s)" in out
+        traces = sorted(p.name for p in trace_dir.glob("*.trace.json"))
+        assert traces == [
+            "drift.sha.adaptive.trace.json",
+            "drift.sha.performance.trace.json",
+            "drift.sha.prediction.trace.json",
+        ]
+        payload = json.loads(
+            (trace_dir / "drift.sha.prediction.trace.json").read_text()
+        )
+        assert payload["traceEvents"]
+
+    def test_report_summarizes_directory(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        main(
+            [
+                "drift", "--app", "sha", "--jobs", "40",
+                "--trace", str(trace_dir),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["report", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "drift.sha.adaptive" in out
+
+    def test_report_diffs_two_directories(self, tmp_path, capsys):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        for directory in (a, b):
+            main(
+                [
+                    "drift", "--app", "sha", "--jobs", "40",
+                    "--trace", str(directory),
+                ]
+            )
+        capsys.readouterr()
+        assert main(["report", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "identical" in out or "drift.sha" in out
+
+    def test_report_usage_errors(self, tmp_path, capsys):
+        assert main(["report"]) == 2
+        assert "usage" in capsys.readouterr().err
+        assert main(["report", "a", "b", "c"]) == 2
+        capsys.readouterr()
+        assert main(["report", str(tmp_path / "missing")]) == 2
+        assert "metrics.json" in capsys.readouterr().err

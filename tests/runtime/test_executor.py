@@ -332,3 +332,93 @@ class TestJitterIntegration:
             return result.energy_j, result.exec_times_s
 
         assert once() == once()
+
+
+class RetargetOnce(Governor):
+    """Test helper: jumps to fmax at the first utilization sample."""
+
+    timer_period_s = 0.004
+
+    def __init__(self, opps):
+        self.opps = opps
+        self.fired = 0
+
+    @property
+    def name(self) -> str:
+        return "retarget-once"
+
+    def decide(self, ctx):
+        return None
+
+    def on_timer(self, now_s, utilization):
+        self.fired += 1
+        if self.fired == 1:
+            return self.opps.fmax
+        return None
+
+
+class TestMidJobRetargeting:
+    """A utilization-timer retarget mid-job re-times the remaining work.
+
+    One 14e6-cycle job starts at fmin (200 MHz, would take 70 ms) and is
+    retargeted to fmax (1400 MHz) at the 4 ms timer, so the analytic
+    execution time is ``0.004 + (1 - 0.004/0.070) * 0.010`` seconds —
+    and the cycles spent at each level must still sum to the job's work.
+    """
+
+    T_FMIN = 14e6 / 200e6
+    T_FMAX = 14e6 / 1400e6
+
+    def run_retargeted(self, **runner_kwargs):
+        board = Board(initial_opp=OPPS.fmin)
+        return run_task(
+            fixed_program(14e6),
+            RetargetOnce(OPPS),
+            [{}],
+            board=board,
+            charge_switch=False,
+            **runner_kwargs,
+        )
+
+    def test_exec_time_matches_analytic_split(self):
+        result, _ = self.run_retargeted()
+        done_at_retarget = 0.004 / self.T_FMIN
+        expected = 0.004 + (1 - done_at_retarget) * self.T_FMAX
+        assert result.jobs[0].exec_time_s == pytest.approx(expected)
+        # Far faster than staying at fmin, slower than pure fmax.
+        assert self.T_FMAX < result.jobs[0].exec_time_s < self.T_FMIN
+
+    def test_job_record_keeps_final_frequency(self):
+        result, board = self.run_retargeted()
+        assert board.current_opp == OPPS.fmax
+
+    def test_work_is_conserved_across_the_retarget(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        self.run_retargeted(telemetry=telemetry)
+        counters = telemetry.metrics.as_dict()["counters"]
+        residency = {
+            name.split("[")[1].rstrip("]"): value
+            for name, value in counters.items()
+            if name.startswith("executor.residency_s[")
+        }
+        assert set(residency) == {"200", "1400"}
+        assert residency["200"] == pytest.approx(0.004)
+        cycles = sum(
+            seconds * float(mhz) * 1e6 for mhz, seconds in residency.items()
+        )
+        assert cycles == pytest.approx(14e6)
+        assert counters["executor.timer_retargets"] == 1
+
+    def test_retarget_emits_instant_event(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        self.run_retargeted(telemetry=telemetry)
+        retargets = [
+            e for e in telemetry.events if e.name == "timer.retarget"
+        ]
+        assert len(retargets) == 1
+        assert retargets[0].ts_s == pytest.approx(0.004)
+        assert retargets[0].args["to_mhz"] == OPPS.fmax.freq_mhz

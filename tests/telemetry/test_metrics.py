@@ -1,0 +1,136 @@
+"""Tests for counters, gauges, histograms, and the percentile helper."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    geometric_buckets,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for pct in (0, 5, 25, 50, 75, 95, 99, 100):
+            assert percentile(values, pct) == pytest.approx(
+                float(np.percentile(values, pct))
+            )
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            percentile([], 50)
+
+    def test_out_of_range_pct_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0], 101)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        assert math.isnan(g.value)
+        g.set(1.0)
+        g.set(0.25)
+        assert g.value == 0.25
+
+
+class TestHistogram:
+    def test_geometric_buckets_cover_range(self):
+        bounds = geometric_buckets(1e-3, 1e2, per_decade=2)
+        assert bounds[0] == pytest.approx(1e-3)
+        assert bounds[-1] >= 1e2
+        assert all(b < a for b, a in zip(bounds, bounds[1:]))
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram([1.0, 1.0, 2.0])
+
+    def test_count_sum_min_max(self):
+        h = Histogram([1.0, 2.0, 4.0])
+        for v in (0.5, 1.5, 3.0, 10.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(15.0)
+        assert h.min == 0.5
+        assert h.max == 10.0
+        assert h.mean == pytest.approx(3.75)
+
+    def test_quantiles_are_within_observed_range(self):
+        h = Histogram()
+        values = [0.001 * (i + 1) for i in range(100)]
+        for v in values:
+            h.observe(v)
+        for pct in (50, 95, 99):
+            estimate = h.quantile(pct)
+            assert h.min <= estimate <= h.max
+
+    def test_quantile_tracks_exact_percentile(self):
+        # Bucket interpolation must agree with the exact percentile to
+        # within one bucket's relative resolution.
+        h = Histogram(geometric_buckets(1e-4, 1.0, per_decade=12))
+        values = [0.001 * 1.05**i for i in range(120)]
+        for v in values:
+            h.observe(v)
+        for pct in (50, 95):
+            exact = percentile(values, pct)
+            assert h.quantile(pct) == pytest.approx(exact, rel=0.25)
+
+    def test_empty_quantile_is_nan(self):
+        assert math.isnan(Histogram().quantile(50))
+
+    def test_overflow_bucket_clamped_to_max(self):
+        h = Histogram([1.0])
+        h.observe(50.0)
+        h.observe(60.0)
+        assert h.quantile(99) <= 60.0
+
+    def test_as_dict_shape(self):
+        h = Histogram()
+        h.observe(0.01)
+        data = h.as_dict()
+        assert set(data) == {
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99"
+        }
+        assert data["count"] == 1
+
+
+class TestRegistry:
+    def test_same_name_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_as_dict_is_json_safe(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(3)
+        reg.gauge("margin").set(0.1)
+        reg.gauge("unset")  # NaN must become None, not a NaN token
+        reg.histogram("slack").observe(0.005)
+        text = json.dumps(reg.as_dict(), allow_nan=False)
+        data = json.loads(text)
+        assert data["counters"]["jobs"] == 3
+        assert data["gauges"]["unset"] is None
+        assert data["histograms"]["slack"]["count"] == 1

@@ -1,0 +1,95 @@
+"""Tests for the text report and the report/diff directory tooling."""
+
+import pytest
+
+from repro.telemetry import (
+    DecisionRecord,
+    Telemetry,
+    TraceSession,
+    diff_directories,
+    render_report,
+    summarize_directory,
+)
+
+
+def populated(name="run", jobs=3, misses=1):
+    tel = Telemetry(name=name)
+    for i in range(jobs):
+        tel.span("job", i * 0.05, i * 0.05 + 0.03, args={"job": i})
+        tel.metrics.counter("executor.jobs").inc()
+        tel.metrics.histogram("executor.slack_s").observe(0.02)
+    for _ in range(misses):
+        tel.metrics.counter("executor.misses").inc()
+    tel.instant("drift.alarm", 0.07, track="online")
+    tel.metrics.gauge("adaptive.margin").set(0.12)
+    tel.record_decision(
+        DecisionRecord(
+            job_index=0, t_s=0.0, governor="g", opp_mhz=600.0, mode="predict"
+        )
+    )
+    return tel
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        text = render_report(populated())
+        assert "telemetry report: run" in text
+        assert "job" in text
+        assert "drift.alarm" in text
+        assert "executor.jobs" in text
+        assert "adaptive.margin" in text
+        assert "decisions: 1 audited" in text
+
+    def test_span_stats_aggregated(self):
+        text = render_report(populated(jobs=4))
+        # 4 spans of 30 ms each -> total 120 ms.
+        assert "120.000" in text
+
+    def test_empty_telemetry_renders(self):
+        assert "telemetry report" in render_report(Telemetry(name="empty"))
+
+
+def write_session(tmp_path, sub, jobs=3, misses=1):
+    directory = tmp_path / sub
+    session = TraceSession(directory)
+    tel = session.telemetry_for("sha.adaptive")
+    donor = populated(jobs=jobs, misses=misses)
+    tel.metrics = donor.metrics
+    tel.sink = donor.sink
+    session.flush()
+    return directory
+
+
+class TestDirectoryTools:
+    def test_summarize_directory(self, tmp_path):
+        directory = write_session(tmp_path, "a")
+        text = summarize_directory(directory)
+        assert "sha.adaptive" in text
+        assert "jobs" in text
+
+    def test_summarize_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="metrics.json"):
+            summarize_directory(tmp_path / "nope")
+
+    def test_diff_reports_changed_metrics(self, tmp_path):
+        a = write_session(tmp_path, "a", jobs=3, misses=1)
+        b = write_session(tmp_path, "b", jobs=5, misses=0)
+        text = diff_directories(a, b)
+        assert "executor.jobs" in text
+        assert "+2" in text
+
+    def test_diff_identical_runs(self, tmp_path):
+        a = write_session(tmp_path, "a")
+        b = write_session(tmp_path, "b")
+        assert "identical" in diff_directories(a, b)
+
+    def test_diff_disjoint_run_names(self, tmp_path):
+        a = tmp_path / "a"
+        sa = TraceSession(a)
+        sa.telemetry_for("only-in-a")
+        sa.flush()
+        b = tmp_path / "b"
+        sb = TraceSession(b)
+        sb.telemetry_for("only-in-b")
+        sb.flush()
+        assert "no run names shared" in diff_directories(a, b)
