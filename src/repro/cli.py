@@ -10,6 +10,10 @@ Usage::
     python -m repro drift --trace DIR    # + Chrome traces/telemetry in DIR
     python -m repro report DIR           # summarize a trace directory
     python -m repro report DIR_A DIR_B   # diff two trace directories
+    python -m repro report ctrl.json     # show a saved controller's
+                                         # slice certificate
+    python -m repro check --all-workloads --strict
+                                         # certify every workload's slice
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import math
 import pathlib
 import sys
 import time
+import warnings
 from typing import Callable
 
 from repro.analysis.harness import Lab
@@ -59,12 +64,19 @@ def _list_experiments() -> str:
     for name, (description, _) in _EXPERIMENTS.items():
         lines.append(f"  {name:8s} {description}")
     lines.append("  all      run everything above")
-    lines.append("  report   summarize one trace directory, or diff two")
+    lines.append("  report   summarize one trace directory, or diff two; "
+                 "or show a saved controller's certificate")
+    lines.append("  check    run the slice certifier over workloads "
+                 "(repro check --help)")
     return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    if raw and raw[0] == "check":
+        # Dispatch before the experiment parser sees check's own flags.
+        return _check_command(raw[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -167,20 +179,170 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _report_command(directories: list[str]) -> int:
-    """``repro report DIR [DIR_B]`` — summarize or diff trace output."""
+    """``repro report DIR [DIR_B]`` — summarize or diff trace output.
+
+    A single *file* argument is treated as a saved controller
+    (``pipeline.persist``): its slice certificate is rendered instead.
+    """
     if not 1 <= len(directories) <= 2:
         print(
-            "usage: repro report TRACE_DIR [TRACE_DIR_B]", file=sys.stderr
+            "usage: repro report TRACE_DIR [TRACE_DIR_B | CONTROLLER.json]",
+            file=sys.stderr,
         )
         return 2
     try:
         if len(directories) == 1:
-            print(summarize_directory(directories[0]))
+            path = pathlib.Path(directories[0])
+            if path.is_file():
+                print(_controller_certificate_report(path))
+            else:
+                print(summarize_directory(directories[0]))
         else:
             print(diff_directories(directories[0], directories[1]))
     except FileNotFoundError as error:
         print(str(error), file=sys.stderr)
         return 2
+    return 0
+
+
+def _controller_certificate_report(path: pathlib.Path) -> str:
+    """Render the slice certificate stored in a saved controller file."""
+    from repro.programs.analysis import SliceCertificate
+
+    payload = json.loads(path.read_text())
+    app = payload.get("app_name", "?")
+    data = payload.get("certificate")
+    if data is None:
+        return (
+            f"controller {app!r} ({path}): no slice certificate "
+            "(pipeline ran with certify='off' or a pre-certifier format)"
+        )
+    cert = SliceCertificate.from_dict(data)
+    return f"controller {app!r} ({path})\n" + _render_certificate(cert)
+
+
+def _render_certificate(cert) -> str:
+    """Human-readable summary of one SliceCertificate."""
+    bound = cert.cost_bound_instructions
+    bound_txt = f"{bound:,.0f} instr" if math.isfinite(bound) else "unbounded"
+    if not cert.cost_bound_tight:
+        bound_txt += " (loose)"
+    lines = [
+        f"slice {cert.program_name!r}: "
+        + ("CERTIFIED" if cert.certified else "NOT CERTIFIED"),
+        f"  passes:           {', '.join(cert.passes)}",
+        f"  side-effect free: {cert.side_effect_free}"
+        + (
+            f" (writes: {', '.join(cert.writes_globals)})"
+            if cert.writes_globals
+            else ""
+        ),
+        f"  coverage:         "
+        + (
+            f"ok ({len(cert.covered_sites)} site(s))"
+            if cert.coverage_ok
+            else "INCOMPLETE"
+        ),
+        f"  static cost bound: {bound_txt}, "
+        f"{cert.cost_bound_mem_refs:,.0f} mem refs",
+    ]
+    if cert.diagnostics:
+        lines.append(f"  findings ({len(cert.diagnostics)}):")
+        lines += [f"    {d.format()}" for d in cert.diagnostics]
+    else:
+        lines.append("  findings: none")
+    return "\n".join(lines)
+
+
+def _check_command(argv: list[str]) -> int:
+    """``repro check`` — run the slice certifier over workloads."""
+    from repro.pipeline.config import PipelineConfig
+    from repro.pipeline.offline import build_controller
+    from repro.workloads.registry import app_names, get_app
+
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=(
+            "Train each workload's controller and run the slice certifier "
+            "over the resulting prediction slice: side-effect purity "
+            "(§3.2), model-feature coverage, dropped-definition hazards, "
+            "and a static worst-case cost bound."
+        ),
+    )
+    parser.add_argument(
+        "apps", nargs="*", help="workloads to certify (default: all)"
+    )
+    parser.add_argument(
+        "--all-workloads",
+        action="store_true",
+        help="certify every registered workload",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if any unwaived error-severity finding remains",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write all certificates (with diagnostics) as JSON to FILE",
+    )
+    parser.add_argument(
+        "--profile-jobs",
+        type=int,
+        default=80,
+        help="profiling jobs per app (smaller = faster check)",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(args.apps)
+    if args.all_workloads or not names:
+        names = list(app_names())
+    unknown = [n for n in names if n not in app_names()]
+    if unknown:
+        print(f"unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    # certify="warn": the check itself is the reporting mechanism, so
+    # build_controller must not raise before we can print the findings.
+    config = PipelineConfig(
+        certify="warn",
+        n_profile_jobs=args.profile_jobs,
+        switch_samples=2,
+    )
+    certificates = {}
+    failed: list[str] = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        for name in names:
+            controller = build_controller(get_app(name), config=config)
+            cert = controller.certificate
+            assert cert is not None
+            certificates[name] = cert
+            if not cert.certified:
+                failed.append(name)
+            print(f"== {name}")
+            print(_render_certificate(cert))
+            print()
+
+    print(
+        f"{len(names) - len(failed)}/{len(names)} workload slice(s) "
+        "certified"
+        + (f"; NOT certified: {', '.join(failed)}" if failed else "")
+    )
+    if args.output is not None:
+        out = pathlib.Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(
+                {name: cert.as_dict() for name, cert in certificates.items()},
+                indent=2,
+            )
+        )
+        print(f"[certificates -> {out}]")
+    if args.strict and failed:
+        return 1
     return 0
 
 

@@ -161,6 +161,7 @@ class AdaptiveGovernor(Governor):
             dvfs=predictive.dvfs,
             switch_table=predictive.switch_table,
             interpreter=predictive.interpreter,
+            certificate=predictive.certificate,
         )
         self.fallback = (
             fallback

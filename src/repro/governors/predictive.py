@@ -7,6 +7,16 @@ asymmetric-Lasso models; fit the per-job DVFS components; pick the lowest
 discrete frequency whose predicted time fits the *effective* budget —
 the budget minus the slice time already spent and a conservative
 (95th-percentile) estimate of the upcoming switch time (Fig. 10).
+
+When the offline pipeline attached a :class:`~repro.programs.analysis.
+SliceCertificate` with a tight static cost bound, the governor also uses
+it in the effective-budget computation: before the slice runs, the
+certified worst case tells the governor whether slicing is affordable at
+all (if bound + switch time already exceed the remaining budget, it
+skips the slice and pins fmax — the slice would only make a doomed job
+later), and while choosing it keeps the not-yet-spent remainder of the
+bound reserved, so a fast slice execution cannot talk the governor into
+headroom the certificate does not guarantee.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from repro.models.dvfs import DvfsModel
 from repro.models.timing import ExecutionTimePredictor, TimePrediction
 from repro.platform.cpu import Work
 from repro.platform.switching import SwitchTimeTable
+from repro.programs.analysis import SliceCertificate
 from repro.programs.interpreter import Interpreter
 from repro.programs.slicer import PredictionSlice
 
@@ -50,6 +61,9 @@ class PredictiveGovernor(Governor):
         switch_table: 95th-percentile switch times from the
             microbenchmark; used to shrink the effective budget.
         interpreter: Executes the slice (isolated) at run time.
+        certificate: The slice certifier's verdict from the offline
+            pipeline; a tight certificate's cost bound feeds the
+            effective-budget computation (None disables that).
     """
 
     def __init__(
@@ -59,16 +73,35 @@ class PredictiveGovernor(Governor):
         dvfs: DvfsModel,
         switch_table: SwitchTimeTable,
         interpreter: Interpreter | None = None,
+        certificate: SliceCertificate | None = None,
     ):
         self.slice = slice
         self.predictor = predictor
         self.dvfs = dvfs
         self.switch_table = switch_table
         self.interpreter = interpreter if interpreter is not None else Interpreter()
+        self.certificate = certificate
 
     @property
     def name(self) -> str:
         return "prediction"
+
+    def slice_bound_work(self) -> Work | None:
+        """The certified worst-case slice cost as schedulable work.
+
+        None when there is no certificate or its bound is not tight
+        (a max_trips-clamped bound is sound but orders of magnitude
+        above reality — scheduling against it would pin fmax forever).
+        """
+        cert = self.certificate
+        if cert is None or not cert.cost_bound_tight:
+            return None
+        return Work(
+            cycles=cert.cost_bound_instructions
+            * self.interpreter.cycles_per_instruction,
+            mem_time_s=cert.cost_bound_mem_refs
+            * self.interpreter.mem_seconds_per_ref,
+        )
 
     def analyze(self, ctx: JobContext) -> SliceOutcome:
         """Run the prediction slice (pure: charges nothing on the board).
@@ -119,10 +152,59 @@ class PredictiveGovernor(Governor):
         value = getattr(margin, "value", margin)
         return float(value) if isinstance(value, (int, float)) else float("nan")
 
+    def bind_telemetry(self, telemetry) -> None:
+        super().bind_telemetry(telemetry)
+        cert = self.certificate
+        if cert is None or not telemetry.enabled:
+            return
+        metrics = telemetry.metrics
+        for diagnostic in cert.diagnostics:
+            metrics.counter(
+                f"certifier.diagnostics[{diagnostic.severity}]"
+            ).inc()
+        metrics.gauge("certifier.certified").set(float(cert.certified))
+        metrics.gauge("certifier.cost_bound_tight").set(
+            float(cert.cost_bound_tight)
+        )
+        metrics.gauge("certifier.cost_bound_instructions").set(
+            cert.cost_bound_instructions
+        )
+
     def decide(self, ctx: JobContext) -> Decision | None:
         """Sequential placement: slice, charge its time, then choose."""
         board = ctx.board
+        bound_work = self.slice_bound_work()
+        if ctx.charge_overheads and bound_work is not None:
+            # Pre-flight against the certified worst case: if paying the
+            # slice's bound plus a switch cannot fit the remaining budget,
+            # the slice is pure overhead on an already-doomed job — pin
+            # fmax without running it (the certificate makes this call
+            # possible *before* spending the slice time).
+            bound_time = board.cpu.execution_time(
+                bound_work, board.current_opp
+            )
+            headroom = (
+                ctx.deadline_s
+                - board.now
+                - bound_time
+                - self.switch_estimate_s(ctx)
+            )
+            if headroom <= 0:
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter(
+                        "predict.bound_skips"
+                    ).inc()
+                decision = Decision(self.dvfs.opps.fmax)
+                self.audit_decision(
+                    ctx,
+                    decision,
+                    effective_budget_s=headroom,
+                    margin=self.margin_value(),
+                    mode="bound-skip",
+                )
+                return decision
         outcome = self.analyze(ctx)
+        mode = ""
         if ctx.charge_overheads:
             slice_from = board.now
             slice_time = board.cpu.execution_time(
@@ -140,6 +222,22 @@ class PredictiveGovernor(Governor):
             effective_budget = (
                 ctx.deadline_s - board.now - self.switch_estimate_s(ctx)
             )
+            if bound_work is not None:
+                # Keep the unspent remainder of the certified bound
+                # reserved: a lucky fast slice run must not unlock
+                # headroom the static analysis does not guarantee.
+                bound_time = board.cpu.execution_time(
+                    bound_work, board.current_opp
+                )
+                effective_budget -= max(0.0, bound_time - slice_time)
+                mode = "certified"
+                if (
+                    slice_time > bound_time
+                    and self.telemetry.enabled
+                ):
+                    self.telemetry.metrics.counter(
+                        "certifier.bound_exceeded"
+                    ).inc()
         else:
             effective_budget = ctx.deadline_s - board.now
         decision = self.choose(outcome, effective_budget)
@@ -148,6 +246,7 @@ class PredictiveGovernor(Governor):
             decision,
             effective_budget_s=effective_budget,
             margin=self.margin_value(),
+            mode=mode,
             features=outcome.features,
         )
         return decision

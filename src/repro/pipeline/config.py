@@ -35,6 +35,17 @@ class PipelineConfig:
             execution time non-trivial (Fig. 17).
         slice_marshal_per_var_instr: Additional copy cost per variable the
             slice retains.
+        certify: What to do with the slice certifier's verdict at train
+            time: "error" refuses to hand an uncertified slice to the
+            governor (raises
+            :class:`~repro.programs.analysis.CertificationError`),
+            "warn" emits a ``UserWarning`` and continues, "off" skips
+            certification entirely.
+        certify_input_widen: How far beyond the profiled input range the
+            interval analysis assumes inputs can stray, as a fraction of
+            the observed span (0.5 = half a span on each side).  Guards
+            the static cost bound against evaluation inputs drawn from
+            the tails the profile missed.
         eval_n_jobs: Jobs per evaluation run (experiments may override
             per call).
         eval_n_jobs_overrides: Per-app evaluation job counts as
@@ -54,6 +65,8 @@ class PipelineConfig:
     max_iter: int = 5000
     slice_marshal_base_instr: float = 80_000.0
     slice_marshal_per_var_instr: float = 6_000.0
+    certify: str = "error"
+    certify_input_widen: float = 0.5
     eval_n_jobs: int = 250
     eval_n_jobs_overrides: tuple[tuple[str, int], ...] = (("pocketsphinx", 40),)
 
@@ -68,6 +81,13 @@ class PipelineConfig:
             raise ValueError("need at least two profiling jobs")
         if self.eval_n_jobs < 1:
             raise ValueError("eval_n_jobs must be >= 1")
+        if self.certify not in ("off", "warn", "error"):
+            raise ValueError(
+                f"certify must be 'off', 'warn', or 'error', "
+                f"got {self.certify!r}"
+            )
+        if self.certify_input_widen < 0:
+            raise ValueError("certify_input_widen must be non-negative")
         # JSON round-trips (pipeline.persist) deliver lists; normalize so
         # the config stays hashable and comparable.
         object.__setattr__(

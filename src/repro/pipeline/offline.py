@@ -9,7 +9,11 @@ Given an annotated application:
 3. **Train** the asymmetric-Lasso execution-time models.
 4. **Slice** the instrumented program down to the features the trained
    models actually use (zero-coefficient features are dropped).
-5. **Microbenchmark** DVFS switch times for the conservative switch
+5. **Certify** the slice: the static-analysis passes prove the §3.2
+   side-effect rule, model-feature coverage, the absence of dropped
+   definitions, and a worst-case slice cost bound.  In ``certify="error"``
+   mode (the default) an uncertified slice never reaches the governor.
+6. **Microbenchmark** DVFS switch times for the conservative switch
    estimate.
 
 The result bundles everything a :class:`~repro.governors.predictive.
@@ -18,6 +22,7 @@ PredictiveGovernor` needs at run time.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,12 +38,17 @@ from repro.platform.cpu import SimulatedCpu
 from repro.platform.jitter import LogNormalJitter, NoJitter
 from repro.platform.opp import OppTable, default_xu3_a7_table
 from repro.platform.switching import SwitchLatencyModel, SwitchTimeTable
+from repro.programs.analysis import (
+    CertificationError,
+    SliceCertificate,
+    certify_slice,
+)
 from repro.programs.instrument import InstrumentedProgram, Instrumenter
 from repro.programs.interpreter import Interpreter
 from repro.programs.slicer import PredictionSlice, Slicer
 from repro.workloads.base import InteractiveApp
 
-__all__ = ["TrainedController", "build_controller"]
+__all__ = ["TrainedController", "build_controller", "profiled_input_ranges"]
 
 
 @dataclass(frozen=True)
@@ -55,6 +65,8 @@ class TrainedController:
         dvfs: The frequency-performance model.
         switch_table: 95th-percentile switch times.
         config: The configuration that produced all of the above.
+        certificate: The slice certifier's verdict (None when the
+            pipeline ran with ``certify="off"``).
     """
 
     app_name: str
@@ -66,6 +78,7 @@ class TrainedController:
     dvfs: DvfsModel
     switch_table: SwitchTimeTable
     config: PipelineConfig
+    certificate: SliceCertificate | None = None
 
     def governor(self, interpreter: Interpreter | None = None) -> PredictiveGovernor:
         """A run-time governor wired to these artifacts."""
@@ -75,6 +88,7 @@ class TrainedController:
             dvfs=self.dvfs,
             switch_table=self.switch_table,
             interpreter=interpreter,
+            certificate=self.certificate,
         )
 
 
@@ -109,10 +123,8 @@ def build_controller(
         else NoJitter()
     )
     profiler = Profiler(interpreter, SimulatedCpu(jitter), opps)
-    trace = profiler.profile(
-        instrumented,
-        app.inputs(config.n_profile_jobs, seed=config.profile_seed),
-    )
+    sample_inputs = app.inputs(config.n_profile_jobs, seed=config.profile_seed)
+    trace = profiler.profile(instrumented, sample_inputs)
 
     # 3. Train (gamma scales with the data so one knob fits all apps).
     encoder = FeatureEncoder(instrumented.sites).fit(trace.raw_features)
@@ -135,7 +147,31 @@ def build_controller(
     )
     slice_ = slicer.slice(instrumented, set(predictor.needed_sites))
 
-    # 5. Switch-time microbenchmark.
+    # 5. Certify the slice before it can reach a governor.
+    certificate = None
+    if config.certify != "off":
+        certificate = certify_slice(
+            instrumented,
+            slice_,
+            needed_sites=frozenset(predictor.needed_sites),
+            input_names=frozenset().union(
+                *(frozenset(job) for job in sample_inputs)
+            ),
+            input_ranges=profiled_input_ranges(
+                sample_inputs, widen=config.certify_input_widen
+            ),
+            waivers=app.certifier_waivers,
+        )
+        if not certificate.certified:
+            if config.certify == "error":
+                raise CertificationError(certificate)
+            warnings.warn(
+                f"slice for {app.name!r} failed certification: "
+                + "; ".join(d.format() for d in certificate.blocking),
+                stacklevel=2,
+            )
+
+    # 6. Switch-time microbenchmark.
     if switch_table is None:
         switch_table = SwitchLatencyModel(opps).microbenchmark(
             samples_per_pair=config.switch_samples
@@ -151,4 +187,28 @@ def build_controller(
         dvfs=DvfsModel(opps),
         switch_table=switch_table,
         config=config,
+        certificate=certificate,
     )
+
+
+def profiled_input_ranges(
+    sample_inputs, widen: float = 0.0
+) -> dict[str, tuple[float, float]]:
+    """Per-input (lo, hi) value ranges over the profiling sample.
+
+    These seed the certifier's interval analysis.  ``widen`` stretches
+    each range by that fraction of its span on both sides (a constant
+    input widens by ``widen * |value|``), covering evaluation inputs
+    from tails the profiling script never drew.
+    """
+    ranges: dict[str, tuple[float, float]] = {}
+    for job in sample_inputs:
+        for name, value in job.items():
+            v = float(value)
+            lo, hi = ranges.get(name, (v, v))
+            ranges[name] = (min(lo, v), max(hi, v))
+    if widen > 0:
+        for name, (lo, hi) in ranges.items():
+            pad = widen * ((hi - lo) or abs(lo))
+            ranges[name] = (lo - pad, hi + pad)
+    return ranges

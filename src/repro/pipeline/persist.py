@@ -30,6 +30,7 @@ from repro.pipeline.offline import TrainedController
 from repro.platform.biglittle import ClusterOperatingPoint
 from repro.platform.opp import OperatingPoint, OppTable
 from repro.platform.switching import SwitchTimeTable
+from repro.programs.analysis import SliceCertificate
 from repro.programs.instrument import FeatureSite, InstrumentedProgram
 from repro.programs.serialize import program_from_dict, program_to_dict
 from repro.programs.slicer import PredictionSlice
@@ -121,6 +122,8 @@ def save_controller(
             "slice_marshal_per_var_instr": (
                 controller.config.slice_marshal_per_var_instr
             ),
+            "certify": controller.config.certify,
+            "certify_input_widen": controller.config.certify_input_widen,
             "eval_n_jobs": controller.config.eval_n_jobs,
             "eval_n_jobs_overrides": [
                 list(pair) for pair in controller.config.eval_n_jobs_overrides
@@ -169,6 +172,11 @@ def save_controller(
                 for end in opps
             }.items()
         },
+        "certificate": (
+            controller.certificate.as_dict()
+            if controller.certificate is not None
+            else None
+        ),
         "trace": controller.trace.to_json() if include_trace else None,
     }
     Path(path).write_text(json.dumps(payload))
@@ -274,6 +282,12 @@ def load_controller(path: str | Path) -> TrainedController:
         if payload["trace"] is not None
         else ProfileTrace([])
     )
+    certificate_data = payload.get("certificate")
+    certificate = (
+        SliceCertificate.from_dict(certificate_data)
+        if certificate_data is not None
+        else None
+    )
     return TrainedController(
         app_name=payload["app_name"],
         instrumented=instrumented,
@@ -284,4 +298,5 @@ def load_controller(path: str | Path) -> TrainedController:
         dvfs=DvfsModel(opps),
         switch_table=switch_table,
         config=config,
+        certificate=certificate,
     )

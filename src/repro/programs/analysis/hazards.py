@@ -1,0 +1,118 @@
+"""Approximation-hazard linter for name-based slicing.
+
+The slicer follows the paper in tracking dependences "based only on
+variable names" (§3.2) — fast, but approximate: it can drop an
+assignment whose value the retained control skeleton still reads.  At
+run time such a read faults (or, worse, reads a stale global of the same
+name).  This linter replays reaching definitions over the *slice* and
+reports every read with no reaching definition, classifying it:
+
+- **dropped definition** — the original program assigns the name, so the
+  slicer's dependence analysis lost it (the §3.2 hazard proper);
+- **unbound variable** — the original never assigns it either (a typo in
+  the workload program; `validate_program` catches these earlier when
+  given the declared inputs).
+
+A secondary liveness sweep reports retained assignments whose targets
+are never read again — not a safety problem, but pure wasted slice time.
+"""
+
+from __future__ import annotations
+
+from repro.programs.analysis.diagnostics import Diagnostic
+from repro.programs.analysis.reaching import (
+    live_variables,
+    reaching_definitions,
+    read_variables,
+)
+from repro.programs.ir import Assign, Loop, Program, walk
+
+__all__ = ["assigned_names", "hazard_diagnostics", "dead_store_diagnostics"]
+
+
+def assigned_names(program: Program) -> frozenset[str]:
+    """Every name the program can bind (assign targets and loop vars)."""
+    names: set[str] = set()
+    for node in walk(program.body):
+        if isinstance(node, Assign):
+            names.add(node.target)
+        elif isinstance(node, Loop) and node.loop_var is not None:
+            names.add(node.loop_var)
+    return frozenset(names)
+
+
+def hazard_diagnostics(
+    slice_program: Program,
+    original: Program | None = None,
+    input_names: frozenset[str] | None = None,
+    program_name: str = "",
+) -> list[Diagnostic]:
+    """Reads in the slice that no definition can reach."""
+    engine = reaching_definitions(slice_program, input_names)
+    original_defs = (
+        assigned_names(original) if original is not None else frozenset()
+    )
+    diagnostics: list[Diagnostic] = []
+    reported: set[str] = set()
+    for node in walk(slice_program.body):
+        state = engine.state_at(node)
+        if state is None:
+            continue  # unreachable, e.g. inside an elided loop body
+        defined = dict(state)
+        for name in sorted(read_variables(node)):
+            if name in defined and defined[name]:
+                continue
+            if name in reported:
+                continue
+            reported.add(name)
+            if name in original_defs:
+                message = (
+                    f"slice reads {name!r} but name-based slicing dropped "
+                    "every definition of it; the control skeleton would "
+                    "fault (or read stale state) at run time"
+                )
+            else:
+                message = (
+                    f"slice reads {name!r}, which is neither an input, a "
+                    "global, a loop variable, nor ever assigned — likely "
+                    "a typo in the workload program"
+                )
+            diagnostics.append(
+                Diagnostic(
+                    pass_name="hazards",
+                    severity="error",
+                    site=name,
+                    message=message,
+                    program=program_name or slice_program.name,
+                )
+            )
+    return diagnostics
+
+
+def dead_store_diagnostics(
+    slice_program: Program, program_name: str = ""
+) -> list[Diagnostic]:
+    """Retained assignments whose values nothing ever reads again."""
+    result = live_variables(slice_program)
+    diagnostics: list[Diagnostic] = []
+    for node in walk(slice_program.body):
+        if not isinstance(node, Assign):
+            continue
+        live_after = result.live_after(node)
+        if live_after is None:
+            continue  # unreachable (elided loop body)
+        if node.target not in live_after:
+            diagnostics.append(
+                Diagnostic(
+                    pass_name="liveness",
+                    severity="info",
+                    site=node.target,
+                    message=(
+                        f"assignment to {node.target!r} is dead in the "
+                        "slice (never read afterwards); it costs "
+                        f"{node.cost:g} instructions per run for nothing"
+                    ),
+                    program=program_name or slice_program.name,
+                )
+            )
+    return diagnostics

@@ -8,7 +8,8 @@ self-referential trees).
 
 from __future__ import annotations
 
-from repro.programs.expr import Expr
+from typing import Iterable
+
 from repro.programs.ir import (
     Assign,
     Block,
@@ -25,15 +26,18 @@ from repro.programs.ir import (
 __all__ = ["validate_program", "free_variables", "static_instruction_bound"]
 
 
-def validate_program(program: Program) -> None:
+def validate_program(
+    program: Program, inputs: Iterable[str] | None = None
+) -> None:
     """Raise ``ValueError`` on structurally invalid programs.
 
     Checks:
     - control-site labels are unique;
     - the statement tree is acyclic (no node is its own ancestor);
-    - every variable read is either an input (unknowable here, so only
-      *warn-level* checks apply), a global, a loop variable, or assigned
-      somewhere in the tree — a completely unbound name is a typo.
+    - when ``inputs`` names the program's declared inputs, every variable
+      read is an input, a global, a loop variable, or assigned somewhere
+      in the tree — anything else is a typo.  Without ``inputs`` the
+      check stays lenient (any otherwise-unbound read could be an input).
     """
     seen_sites: set[str] = set()
     on_path: set[int] = set()
@@ -74,6 +78,18 @@ def validate_program(program: Program) -> None:
         on_path.discard(id(stmt))
 
     visit(program.body)
+
+    if inputs is not None:
+        bound = (
+            assigned | set(inputs) | set(program.globals_init)
+        )
+        unbound = sorted(read - bound)
+        if unbound:
+            raise ValueError(
+                f"program {program.name!r} reads unbound variable(s) "
+                f"{unbound}: neither declared inputs, globals, loop "
+                "variables, nor assigned anywhere"
+            )
 
 
 def free_variables(program: Program) -> frozenset[str]:

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
+from repro.programs.analysis.diagnostics import Suppression
 from repro.programs.expr import Value
 from repro.programs.ir import Block
 from repro.runtime.task import Task
@@ -62,12 +63,22 @@ class InteractiveApp:
             deterministic given the seed, like the paper's scripted user
             inputs ("to ensure consistency across runs").
         paper_stats: Table 2 job-time statistics this app is calibrated to.
+        certifier_waivers: Reviewed suppressions for slice-certifier
+            findings this app is expected to trigger; each needs a
+            reason.  Lives here so the acceptance of a finding sits next
+            to the program that provokes it.
     """
 
     task: Task
     description: str
     generate_inputs: Callable[[int, int], list[Mapping[str, Value]]]
     paper_stats: JobTimeStats
+    certifier_waivers: tuple[Suppression, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "certifier_waivers", tuple(self.certifier_waivers)
+        )
 
     @property
     def name(self) -> str:

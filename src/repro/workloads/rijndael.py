@@ -10,6 +10,7 @@ Table 2 targets: min 14.2 ms, avg 28.5 ms, max 43.6 ms at fmax.
 
 from __future__ import annotations
 
+from repro.programs.analysis.diagnostics import Suppression
 from repro.programs.expr import Const, Var
 from repro.programs.ir import Assign, IndirectCall, Loop, Program, Seq
 from repro.runtime.task import Task
@@ -90,4 +91,16 @@ def make_app() -> InteractiveApp:
         description="AES — encrypt one piece of data",
         generate_inputs=generate_inputs,
         paper_stats=JobTimeStats(min_ms=14.2, avg_ms=28.5, max_ms=43.6),
+        certifier_waivers=(
+            Suppression(
+                pass_name="effects",
+                site="rounds",
+                reason=(
+                    "the round count chosen by the key schedule is a "
+                    "genuine feature dependence: the slice must recompute "
+                    "'rounds' to know the encryption loop's trip count; "
+                    "the write targets the isolated copy only"
+                ),
+            ),
+        ),
     )
