@@ -159,6 +159,71 @@ def test_perf_telemetry_noop_under_two_percent():
     )
 
 
+def test_perf_watchdog_disabled_is_provably_noop():
+    """With telemetry off, the watchdog must not exist on the hot path.
+
+    ``Watchdog.attach`` refuses a disabled pipeline, so a watched-but-
+    untraced run is *bitwise* the bare run: zero calls into watch.py and
+    zero allocations attributable to it per job.  tracemalloc proves the
+    allocation half; the attach contract proves the call half.
+    """
+    import tracemalloc
+
+    from repro.telemetry import NO_TELEMETRY, Watchdog
+
+    watchdog = Watchdog()
+    assert watchdog.attach(NO_TELEMETRY) is False
+    # The refused attach mutated nothing: the null pipeline kept its
+    # (absent) sink and the watchdog saw no stream.
+    assert not hasattr(NO_TELEMETRY, "sink")
+    assert watchdog.jobs == 0
+
+    watch_file = __import__(
+        "repro.telemetry.watch", fromlist=["__file__"]
+    ).__file__
+    tracemalloc.start()
+    try:
+        _smoke_run(telemetry=None, n_jobs=20)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    watch_allocs = snapshot.filter_traces(
+        [tracemalloc.Filter(True, watch_file)]
+    )
+    assert not watch_allocs.statistics("lineno"), (
+        "a run without telemetry allocated inside repro.telemetry.watch: "
+        f"{watch_allocs.statistics('lineno')[:3]}"
+    )
+
+
+def test_perf_watchdog_attached_overhead_bounded():
+    """An attached watchdog must stay within 2x of the bare run.
+
+    Same tripwire style as the enabled-telemetry bound: the tee sink
+    adds one dict-free dispatch per event, so doubling the run means a
+    detector grew an accidental hot loop.
+    """
+    from repro.telemetry import Telemetry, Watchdog
+
+    Watchdog()  # warm the one-time drift-detector import before timing
+    t_noop = _best_of(lambda: _smoke_run(telemetry=None))
+    observed = []
+
+    def run_watched():
+        telemetry = Telemetry()
+        watchdog = Watchdog(telemetry=telemetry)
+        assert watchdog.attach(telemetry) is True
+        _smoke_run(telemetry=telemetry)
+        observed.append(watchdog.jobs)
+
+    t_watched = _best_of(run_watched)
+    assert observed[0] == 50, "watchdog must classify every job"
+    assert t_watched < 2.0 * max(t_noop, 1e-4), (
+        f"attached watchdog {t_watched * 1e3:.1f} ms vs "
+        f"no-op {t_noop * 1e3:.1f} ms"
+    )
+
+
 def test_perf_telemetry_enabled_overhead_bounded():
     """Recording everything must stay within 2x of the bare run.
 

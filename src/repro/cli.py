@@ -10,8 +10,14 @@ Usage::
     python -m repro drift --trace DIR    # + Chrome traces/telemetry in DIR
     python -m repro report DIR           # summarize a trace directory
     python -m repro report DIR_A DIR_B   # diff two trace directories
+                                         # (exit 1 on metric regressions)
+    python -m repro report DIR --gate BENCH_slo_baseline.json
+                                         # CI gate vs a committed baseline
     python -m repro report ctrl.json     # show a saved controller's
                                          # slice certificate
+    python -m repro watch rijndael --drift 1.5
+                                         # live SLO dashboard over a run
+                                         # (exit 1 on SLO violation)
     python -m repro check --all-workloads --strict
                                          # certify every workload's slice
 """
@@ -31,7 +37,7 @@ from typing import Callable
 
 from repro.analysis.harness import Lab
 from repro.analysis import experiments as exp
-from repro.telemetry import TraceSession, diff_directories, summarize_directory
+from repro.telemetry import TraceSession, summarize_directory
 
 __all__ = ["main"]
 
@@ -64,8 +70,10 @@ def _list_experiments() -> str:
     for name, (description, _) in _EXPERIMENTS.items():
         lines.append(f"  {name:8s} {description}")
     lines.append("  all      run everything above")
-    lines.append("  report   summarize one trace directory, or diff two; "
-                 "or show a saved controller's certificate")
+    lines.append("  report   summarize/diff/gate trace directories, or show "
+                 "a saved controller's certificate (repro report --help)")
+    lines.append("  watch    run one workload under the SLO watchdog with a "
+                 "live dashboard (repro watch --help)")
     lines.append("  check    run the slice certifier over workloads "
                  "(repro check --help)")
     return "\n".join(lines)
@@ -77,6 +85,10 @@ def main(argv: list[str] | None = None) -> int:
     if raw and raw[0] == "check":
         # Dispatch before the experiment parser sees check's own flags.
         return _check_command(raw[1:])
+    if raw and raw[0] == "watch":
+        return _watch_command(raw[1:])
+    if raw and raw[0] == "report":
+        return _report_command(raw[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -122,11 +134,9 @@ def main(argv: list[str] | None = None) -> int:
         "(open in ui.perfetto.dev), JSONL event streams, decision audit "
         "logs, metrics dumps, and text reports",
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
 
     requested = [_ALIASES.get(e, e) for e in args.experiments]
-    if requested[0] == "report":
-        return _report_command(args.experiments[1:])
     if "list" in requested:
         print(_list_experiments())
         return 0
@@ -178,30 +188,340 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def _report_command(directories: list[str]) -> int:
-    """``repro report DIR [DIR_B]`` — summarize or diff trace output.
+def _report_command(argv: list[str]) -> int:
+    """``repro report`` — summarize, diff, or gate trace output.
 
     A single *file* argument is treated as a saved controller
     (``pipeline.persist``): its slice certificate is rendered instead.
+    Exit codes: 0 clean, 1 regression/gate failure, 2 usage or missing
+    input.
     """
-    if not 1 <= len(directories) <= 2:
-        print(
-            "usage: repro report TRACE_DIR [TRACE_DIR_B | CONTROLLER.json]",
-            file=sys.stderr,
-        )
-        return 2
+    from repro.telemetry.report import (
+        compare_directories,
+        gate_directory,
+        make_baseline,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description=(
+            "Summarize one trace directory, diff two (exit 1 when any "
+            "metric regresses beyond tolerance), gate one against a "
+            "committed metrics baseline, or render a saved controller's "
+            "slice certificate."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="one trace directory (or saved CONTROLLER.json), or two "
+        "trace directories to diff",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="relative movement allowed before a directional metric "
+        "counts as a regression (diff default 0.05; gate default: the "
+        "baseline file's recorded tolerance)",
+    )
+    parser.add_argument(
+        "--gate",
+        default=None,
+        metavar="BASELINE.json",
+        help="hold the trace directory to this committed metrics "
+        "baseline; exit 1 on any violation",
+    )
+    parser.add_argument(
+        "--make-baseline",
+        default=None,
+        metavar="FILE",
+        help="snapshot the trace directory's gated metrics as a new "
+        "baseline JSON at FILE",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the rendered report/diff/gate text to FILE",
+    )
     try:
-        if len(directories) == 1:
-            path = pathlib.Path(directories[0])
-            if path.is_file():
-                print(_controller_certificate_report(path))
-            else:
-                print(summarize_directory(directories[0]))
+        args = parser.parse_args(argv)
+        if len(args.paths) > 2 or (
+            len(args.paths) == 2 and (args.gate or args.make_baseline)
+        ):
+            parser.error(
+                "--gate/--make-baseline take exactly one TRACE_DIR; "
+                "diffs take exactly two"
+            )
+    except SystemExit as error:
+        # Argparse exits; the CLI contract is to *return* the code so
+        # main() stays embeddable (tests call it in-process).
+        return int(error.code or 0)
+
+    exit_code = 0
+    try:
+        if len(args.paths) == 2:
+            tolerance = args.tolerance if args.tolerance is not None else 0.05
+            diff = compare_directories(
+                args.paths[0], args.paths[1], tolerance=tolerance
+            )
+            text = diff.text
+            if diff.regressions:
+                exit_code = 1
         else:
-            print(diff_directories(directories[0], directories[1]))
+            path = pathlib.Path(args.paths[0])
+            if path.is_file():
+                text = _controller_certificate_report(path)
+            elif args.gate is not None:
+                baseline = json.loads(pathlib.Path(args.gate).read_text())
+                gate = gate_directory(
+                    path, baseline, tolerance=args.tolerance
+                )
+                text = gate.text
+                if not gate.passed:
+                    exit_code = 1
+            elif args.make_baseline is not None:
+                baseline = make_baseline(path)
+                if args.tolerance is not None:
+                    baseline["tolerance"] = args.tolerance
+                out = pathlib.Path(args.make_baseline)
+                out.parent.mkdir(parents=True, exist_ok=True)
+                out.write_text(json.dumps(baseline, indent=2) + "\n")
+                text = (
+                    f"baseline: {sum(len(m) for m in baseline['runs'].values())}"
+                    f" metric(s) over {len(baseline['runs'])} run(s) -> {out}"
+                )
+            else:
+                text = summarize_directory(path)
     except FileNotFoundError as error:
         print(str(error), file=sys.stderr)
         return 2
+    print(text)
+    if args.output is not None:
+        out = pathlib.Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+    return exit_code
+
+
+def _watch_command(argv: list[str]) -> int:
+    """``repro watch APP`` — run one workload under the SLO watchdog.
+
+    The run always records telemetry (the watchdog is an event-stream
+    consumer); a live dashboard repaints as jobs complete.  Exit code 1
+    when any page-severity SLO alert fired, else 0.
+    """
+    import zlib
+
+    from repro.online.inject import StepDriftJitter
+    from repro.platform.board import Board
+    from repro.platform.jitter import LogNormalJitter, NoJitter
+    from repro.platform.switching import SwitchLatencyModel
+    from repro.runtime.executor import TaskLoopRunner
+    from repro.telemetry import Telemetry, Watchdog, WatchdogConfig
+    from repro.telemetry.slo import default_slos, specs_from_json
+    from repro.telemetry.watch import render_dashboard
+    from repro.workloads.registry import app_names
+
+    parser = argparse.ArgumentParser(
+        prog="repro watch",
+        description=(
+            "Run one workload under a governor with the SLO watchdog "
+            "attached: error-budget burn-rate alerts, streaming anomaly "
+            "detectors, and a live terminal dashboard.  Exits non-zero "
+            "when a page-severity SLO alert fires."
+        ),
+    )
+    parser.add_argument("app", help="workload to run (see repro list)")
+    parser.add_argument(
+        "--governor",
+        default="prediction",
+        help="governor name (default: prediction)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=240, help="jobs in the run"
+    )
+    parser.add_argument(
+        "--drift",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="inject a mid-run execution-time slowdown by FACTOR "
+        "(1.0 = no drift)",
+    )
+    parser.add_argument(
+        "--drift-at",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help="where the drift shift lands, as a fraction of the run",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="base evaluation seed"
+    )
+    parser.add_argument(
+        "--jitter", type=float, default=0.02, help="timing-noise sigma"
+    )
+    parser.add_argument(
+        "--refresh",
+        type=int,
+        default=10,
+        metavar="N",
+        help="repaint the dashboard every N jobs",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the live dashboard (final frame only)",
+    )
+    parser.add_argument(
+        "--slo",
+        default=None,
+        metavar="FILE",
+        help="JSON file of SloSpec definitions (default: the built-in "
+        "suite scaled to the app's budget)",
+    )
+    parser.add_argument(
+        "--max-energy-j",
+        type=float,
+        default=None,
+        metavar="J",
+        help="add an energy-per-job SLO with this cap (joules)",
+    )
+    parser.add_argument(
+        "--arm-fallback",
+        action="store_true",
+        help="let a page-severity alert force an adaptive governor into "
+        "its deadline-safe fallback mode",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="also write the run's full telemetry artifacts into DIR "
+        "(the directory `repro report --gate` consumes)",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as error:
+        return int(error.code or 0)
+
+    if args.app not in app_names():
+        print(f"unknown workload: {args.app}", file=sys.stderr)
+        return 2
+    if not 0.0 < args.drift_at < 1.0:
+        print("--drift-at must be strictly inside (0, 1)", file=sys.stderr)
+        return 2
+
+    trace_session = (
+        TraceSession(args.trace) if args.trace is not None else None
+    )
+    lab = Lab(
+        jitter_sigma=args.jitter, seed=args.seed, trace_session=trace_session
+    )
+    app = lab.app(args.app)
+    governor = lab.make_governor(args.governor, args.app)
+    inputs = app.inputs(args.jobs, seed=lab.seed + 11)
+
+    run_name = f"watch.{args.app}.{args.governor}"
+    if trace_session is not None:
+        telemetry = trace_session.telemetry_for(run_name)
+    else:
+        telemetry = Telemetry(name=run_name)
+
+    if args.slo is not None:
+        specs = specs_from_json(pathlib.Path(args.slo).read_text())
+    else:
+        specs = default_slos(
+            budget_s=app.task.budget_s,
+            max_energy_per_job_j=args.max_energy_j,
+        )
+
+    # Deterministic per-(app, governor) seeding, stable across processes,
+    # so a committed gate baseline reproduces in CI.
+    run_seed = zlib.crc32(
+        f"{lab.seed}|watch|{args.app}|{args.governor}".encode()
+    )
+    base = (
+        LogNormalJitter(lab.jitter_sigma, seed=run_seed)
+        if lab.jitter_sigma > 0
+        else NoJitter()
+    )
+    board = Board(
+        opps=lab.opps,
+        power=lab.power,
+        switcher=SwitchLatencyModel(lab.opps, seed=run_seed),
+    )
+    if args.drift != 1.0:
+        shift_job = int(args.jobs * args.drift_at)
+        board.cpu.jitter = StepDriftJitter(
+            base,
+            args.drift,
+            shift_at_s=shift_job * app.task.budget_s,
+            clock=lambda: board.now,
+        )
+    else:
+        board.cpu.jitter = base
+
+    live = not args.quiet and sys.stdout.isatty()
+    frame_lines = 0
+
+    def repaint(watchdog, obs) -> None:
+        nonlocal frame_lines
+        if args.quiet or watchdog.jobs % args.refresh:
+            return
+        frame = render_dashboard(watchdog.status(), title=run_name)
+        if live and frame_lines:
+            # Rewind over the previous frame for an in-place repaint.
+            sys.stdout.write(f"\x1b[{frame_lines}F\x1b[J")
+        print(frame, flush=True)
+        frame_lines = frame.count("\n") + 1
+
+    watchdog = Watchdog(
+        specs=specs,
+        config=WatchdogConfig(arm_fallback=args.arm_fallback),
+        governor=governor,
+        telemetry=telemetry,
+        on_observation=repaint,
+    )
+    watchdog.attach(telemetry)
+
+    runner = TaskLoopRunner(
+        board=board,
+        task=app.task,
+        governor=governor,
+        inputs=inputs,
+        interpreter=lab.interpreter,
+        telemetry=telemetry,
+    )
+    result = runner.run()
+
+    status = watchdog.status()
+    final = render_dashboard(status, title=f"{run_name} (final)")
+    if live and frame_lines:
+        sys.stdout.write(f"\x1b[{frame_lines}F\x1b[J")
+    print(final)
+    print(
+        f"\nrun: {result.n_jobs} jobs, {result.n_missed} missed "
+        f"({100 * result.miss_rate:.1f}%), {result.energy_j:.3f} J"
+    )
+    for alert in watchdog.alerts:
+        print(f"SLO ALERT [{alert.severity}] {alert.message}")
+    for anomaly in watchdog.anomalies[:10]:
+        print(f"anomaly [{anomaly.kind}] {anomaly.message}")
+    if len(watchdog.anomalies) > 10:
+        print(f"... and {len(watchdog.anomalies) - 10} more anomalies")
+
+    if trace_session is not None:
+        written = trace_session.flush()
+        print(f"[trace: {len(written)} file(s) -> {trace_session.directory}]")
+
+    if watchdog.violated:
+        print("\nSLO VIOLATED (page-severity alert fired)", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -378,6 +378,35 @@ class AdaptiveGovernor(Governor):
             + self.config.update_cycles_per_feature_sq * float(n * n)
         )
 
+    def arm_fallback(self, reason: str = "external", t_s: float = 0.0) -> bool:
+        """Force the deadline-safe fallback mode from outside the loop.
+
+        The SLO watchdog (:mod:`repro.telemetry.watch`) calls this when a
+        page-severity burn-rate alert fires before the governor's own
+        drift detector has: the mode machine treats it exactly like an
+        internal alarm, so the usual cooldown-and-stability path governs
+        re-engagement.  Returns True when the mode actually changed.
+        """
+        if self.mode is AdaptiveMode.FALLBACK:
+            return False
+        self.mode = AdaptiveMode.FALLBACK
+        self.jobs_in_mode = 0
+        self.drift_events += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.instant(
+                "fallback.armed",
+                t_s,
+                track="online",
+                category="drift",
+                args={"reason": reason},
+            )
+            telemetry.metrics.counter(
+                "adaptive.transitions[predict->fallback]"
+            ).inc()
+            telemetry.metrics.counter("adaptive.external_arms").inc()
+        return True
+
     def _predicted_at(self, raw, freq_hz: float) -> float:
         """The raw (unmargined) predicted time at an executed frequency."""
         components = self.inner.dvfs.components(raw.t_fmin_s, raw.t_fmax_s)

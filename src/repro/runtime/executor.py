@@ -113,6 +113,13 @@ class TaskLoopRunner:
             telemetry.counter(
                 "freq_mhz", self.board.now, self.board.current_opp.freq_mhz
             )
+            # Pre-register the headline counters so a clean run reports
+            # them at 0 (a metrics baseline must pin "no misses", not
+            # silently omit the metric).
+            for name in (
+                "executor.jobs", "executor.misses", "executor.switches"
+            ):
+                telemetry.metrics.counter(name)
         task_globals = self.task.program.fresh_globals()
         records: list[JobRecord] = []
 
@@ -287,12 +294,19 @@ class TaskLoopRunner:
                     category="predictor",
                     args={"job": index},
                 )
+            # The job span closes the per-job story: the SLO watchdog
+            # (repro.telemetry.watch) classifies the job off these args.
+            telemetry.counter("energy_j", board.now, board.energy_j())
             telemetry.span(
                 "job",
                 start,
                 board.now,
                 category="job",
-                args={"job": index, "missed": record.missed},
+                args={
+                    "job": index,
+                    "missed": record.missed,
+                    "slack_s": record.slack_s,
+                },
             )
             if record.missed:
                 telemetry.instant(
@@ -324,6 +338,9 @@ class TaskLoopRunner:
             metrics.histogram("executor.adaptation_time_s").observe(
                 record.adaptation_time_s
             )
+        # Cumulative energy as a gauge: the last write is the run total,
+        # which the metrics regression gate compares across commits.
+        metrics.gauge("executor.energy_j").set(self.board.energy_j())
 
     def _decide(
         self, ctx: JobContext, work: Work, jitter: float

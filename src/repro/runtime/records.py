@@ -132,8 +132,10 @@ class RunResult:
 
         Shares :func:`repro.telemetry.metrics.percentile` with the
         metrics histograms, so report quantiles and result quantiles
-        use one interpolation convention.
+        use one interpolation convention.  NaN on a zero-job run.
         """
+        if not self.jobs:
+            return float("nan")
         return percentile(self.exec_times_s, pct)
 
     def slack_percentile(self, pct: float) -> float:
@@ -141,8 +143,10 @@ class RunResult:
 
         Low percentiles are the interesting tail: p5 slack is how close
         the tightest jobs came to (or past) their deadline — negative
-        values are misses.
+        values are misses.  NaN on a zero-job run.
         """
+        if not self.jobs:
+            return float("nan")
         return percentile([j.slack_s for j in self.jobs], pct)
 
     def energy_relative_to(self, reference: "RunResult") -> float:

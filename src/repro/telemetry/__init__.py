@@ -37,9 +37,27 @@ from repro.telemetry.metrics import (
     percentile,
 )
 from repro.telemetry.report import (
+    DirectoryDiff,
+    GateResult,
+    compare_directories,
     diff_directories,
+    gate_directory,
+    make_baseline,
     render_report,
     summarize_directory,
+)
+from repro.telemetry.slo import (
+    BurnWindow,
+    JobObservation,
+    SloAlert,
+    SloSpec,
+    SloTracker,
+    default_slos,
+)
+from repro.telemetry.watch import (
+    Watchdog,
+    WatchdogConfig,
+    render_dashboard,
 )
 
 __all__ = [
@@ -65,4 +83,18 @@ __all__ = [
     "render_report",
     "summarize_directory",
     "diff_directories",
+    "compare_directories",
+    "DirectoryDiff",
+    "GateResult",
+    "make_baseline",
+    "gate_directory",
+    "BurnWindow",
+    "JobObservation",
+    "SloAlert",
+    "SloSpec",
+    "SloTracker",
+    "default_slos",
+    "Watchdog",
+    "WatchdogConfig",
+    "render_dashboard",
 ]

@@ -112,13 +112,22 @@ class Telemetry:
 
     @property
     def events(self) -> list[TraceEvent]:
-        """The collected events (only for the in-memory ListSink)."""
-        if isinstance(self.sink, ListSink):
-            return self.sink.events
-        raise TypeError(
-            f"events are not retained by {type(self.sink).__name__}; "
-            "use a ListSink to buffer them"
-        )
+        """The collected events (only for the in-memory ListSink).
+
+        Tee/wrapper sinks (e.g. the watchdog's) are unwrapped through
+        their ``inner`` attribute, so attaching a watchdog does not cost
+        a run its exporters.
+        """
+        sink = self.sink
+        while not isinstance(sink, ListSink):
+            inner = getattr(sink, "inner", None)
+            if inner is None:
+                raise TypeError(
+                    f"events are not retained by {type(sink).__name__}; "
+                    "use a ListSink to buffer them"
+                )
+            sink = inner
+        return sink.events
 
     # -- emission --------------------------------------------------------------
     def span(
@@ -220,12 +229,16 @@ class NullTelemetry:
 
     ``enabled`` is False, so instrumentation sites skip argument
     construction entirely; the methods exist (and do nothing) so
-    unguarded calls are still safe.
+    unguarded calls are still safe.  The export surface exists too and
+    yields valid *empty* artifacts, so code that unconditionally writes
+    a run's trace files (e.g. :func:`~repro.telemetry.exporters.
+    write_run`) need not special-case the disabled pipeline.
     """
 
     enabled = False
     name = "off"
     decisions: tuple = ()
+    events: tuple = ()
 
     def span(self, *args: Any, **kwargs: Any) -> None:
         pass
@@ -241,6 +254,22 @@ class NullTelemetry:
 
     def has_decision_for(self, job_index: int) -> bool:
         return True  # suppresses the executor's fallback audit path
+
+    # -- export shortcuts (valid, empty) ---------------------------------------
+    def chrome_trace(self) -> dict:
+        from repro.telemetry.exporters import chrome_trace
+
+        return chrome_trace((), name=self.name)
+
+    def events_jsonl(self) -> str:
+        from repro.telemetry.exporters import events_jsonl
+
+        return events_jsonl(())
+
+    def report(self) -> str:
+        from repro.telemetry.report import render_report
+
+        return render_report(self)
 
 
 class _NullMetric:

@@ -1,26 +1,46 @@
-"""Plain-text telemetry reports: per-run summaries and run diffs.
+"""Plain-text telemetry reports: run summaries, diffs, regression gates.
 
-Two consumers: :func:`render_report` summarises a live
+Three consumers: :func:`render_report` summarises a live
 :class:`~repro.telemetry.events.Telemetry` (span totals, metric
 snapshots, audit-log shape) and backs the ``<name>.report.txt`` export;
-:func:`summarize_directory` / :func:`diff_directories` power the
+:func:`summarize_directory` / :func:`compare_directories` power the
 ``python -m repro report`` subcommand from the ``metrics.json`` files a
 :class:`~repro.telemetry.exporters.TraceSession` wrote, so two runs —
 say, before and after a controller change — can be compared without
-re-simulating either.
+re-simulating either; and :func:`gate_directory` /
+:func:`make_baseline` turn the comparison into a CI regression gate
+against a *committed* baseline (``BENCH_slo_baseline.json``).
+
+Regressions are directional: a metric name is classified by
+:func:`metric_direction` into lower-is-better (misses, energy, any
+``*_time_s`` tail), higher-is-better (slack), or neutral (job counts,
+residency splits).  Neutral metrics still gate on *any* drift beyond
+tolerance — a changed job count means the runs are not comparable at
+all.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Iterable
 
 __all__ = [
     "render_report",
     "summarize_directory",
     "diff_directories",
+    "compare_directories",
+    "metric_direction",
+    "MetricDelta",
+    "DirectoryDiff",
+    "GateFailure",
+    "GateResult",
+    "make_baseline",
+    "gate_directory",
+    "GATE_DEFAULT_METRICS",
 ]
 
 
@@ -42,9 +62,13 @@ def _table(headers: list[str], rows: list[tuple], title: str = "") -> str:
 
 
 def _fmt(value, unit_ms: bool = False) -> str:
+    # None marks "no data" (empty histogram, zero-job run, metric absent
+    # on one side of a diff): render n/a rather than crash or mislead.
     if value is None:
-        return "-"
+        return "n/a"
     if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
         return f"{value * 1e3:.3f}" if unit_ms else f"{value:.4g}"
     return str(value)
 
@@ -181,19 +205,114 @@ def _flatten(metrics: dict) -> dict[str, float]:
     return flat
 
 
-def diff_directories(
-    a: pathlib.Path | str, b: pathlib.Path | str
-) -> str:
-    """Metric-by-metric diff of two trace directories, by run name."""
+# -- regression semantics ------------------------------------------------------
+#: Substrings that classify a metric's better-direction.  Checked in
+#: order: higher-is-better wins (slack percentiles contain "_s" too).
+_HIGHER_IS_BETTER = ("slack",)
+_LOWER_IS_BETTER = (
+    "miss",
+    "alarm",
+    "alert",
+    "anomal",
+    "energy",
+    "time_s",
+    "latency",
+    "retarget",
+    "bound_exceeded",
+    "external_arms",
+)
+
+
+def metric_direction(name: str) -> str | None:
+    """``"higher"``/``"lower"`` = which direction is better; None = neutral."""
+    lowered = name.lower()
+    if any(token in lowered for token in _HIGHER_IS_BETTER):
+        return "higher"
+    if any(token in lowered for token in _LOWER_IS_BETTER):
+        return "lower"
+    return None
+
+
+def _regressed(
+    baseline: float, observed: float, direction: str | None, tolerance: float
+) -> bool:
+    """Whether ``observed`` is worse than ``baseline`` beyond tolerance.
+
+    Tolerance is relative to the baseline magnitude with a small
+    absolute floor, so a zero baseline (0 misses) still admits strictly
+    nothing worse than zero-plus-noise.
+    """
+    allowance = tolerance * abs(baseline) + 1e-9
+    if direction == "lower":
+        return observed > baseline + allowance
+    if direction == "higher":
+        return observed < baseline - allowance
+    return abs(observed - baseline) > allowance
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between two runs."""
+
+    run: str
+    metric: str
+    a: float | None
+    b: float | None
+    regressed: bool
+
+    @property
+    def delta(self) -> float | None:
+        if self.a is None or self.b is None:
+            return None
+        return self.b - self.a
+
+
+@dataclass(frozen=True)
+class DirectoryDiff:
+    """Structured outcome of comparing two trace directories.
+
+    Attributes:
+        text: The human-readable diff (what the CLI prints).
+        deltas: Every changed metric across all shared runs.
+        regressions: The subset that moved in the *worse* direction
+            beyond the tolerance.
+        shared_runs: Run names present on both sides.
+    """
+
+    text: str
+    deltas: tuple[MetricDelta, ...]
+    regressions: tuple[MetricDelta, ...]
+    shared_runs: tuple[str, ...]
+
+
+def compare_directories(
+    a: pathlib.Path | str,
+    b: pathlib.Path | str,
+    tolerance: float = 0.05,
+) -> DirectoryDiff:
+    """Metric-by-metric comparison of two trace directories.
+
+    Args:
+        a: Baseline trace directory.
+        b: Candidate trace directory.
+        tolerance: Relative movement allowed before a directional metric
+            counts as a regression.
+    """
     a, b = pathlib.Path(a), pathlib.Path(b)
     runs_a, runs_b = _load_metrics(a), _load_metrics(b)
     shared = sorted(set(runs_a) & set(runs_b))
     if not shared:
-        return (
-            f"no run names shared between {a} ({sorted(runs_a)}) "
-            f"and {b} ({sorted(runs_b)})"
+        return DirectoryDiff(
+            text=(
+                f"no run names shared between {a} ({sorted(runs_a)}) "
+                f"and {b} ({sorted(runs_b)})"
+            ),
+            deltas=(),
+            regressions=(),
+            shared_runs=(),
         )
     sections = [f"trace diff: {a}  vs  {b}"]
+    deltas: list[MetricDelta] = []
     for name in shared:
         flat_a, flat_b = _flatten(runs_a[name]), _flatten(runs_b[name])
         rows = []
@@ -201,11 +320,23 @@ def diff_directories(
             va, vb = flat_a.get(key), flat_b.get(key)
             if va == vb:
                 continue
+            regressed = (
+                va is not None
+                and vb is not None
+                and _regressed(va, vb, metric_direction(key), tolerance)
+            )
+            deltas.append(
+                MetricDelta(
+                    run=name, metric=key, a=va, b=vb, regressed=regressed
+                )
+            )
             if va is not None and vb is not None:
-                delta = vb - va
-                rows.append((key, _fmt(va), _fmt(vb), f"{delta:+.4g}"))
+                mark = "  << regression" if regressed else ""
+                rows.append(
+                    (key, _fmt(va), _fmt(vb), f"{vb - va:+.4g}{mark}")
+                )
             else:
-                rows.append((key, _fmt(va), _fmt(vb), "-"))
+                rows.append((key, _fmt(va), _fmt(vb), "n/a"))
         if rows:
             sections.append(
                 _table(["metric", "a", "b", "delta"], rows, title=name)
@@ -215,4 +346,215 @@ def diff_directories(
     only = sorted((set(runs_a) | set(runs_b)) - set(shared))
     if only:
         sections.append(f"runs present on one side only: {', '.join(only)}")
-    return "\n\n".join(sections)
+    regressions = tuple(d for d in deltas if d.regressed)
+    if regressions:
+        sections.append(
+            f"{len(regressions)} metric(s) regressed beyond "
+            f"{100 * tolerance:g}% tolerance: "
+            + ", ".join(f"{d.run}:{d.metric}" for d in regressions)
+        )
+    return DirectoryDiff(
+        text="\n\n".join(sections),
+        deltas=tuple(deltas),
+        regressions=regressions,
+        shared_runs=tuple(shared),
+    )
+
+
+def diff_directories(
+    a: pathlib.Path | str, b: pathlib.Path | str
+) -> str:
+    """Metric-by-metric diff of two trace directories, as text."""
+    return compare_directories(a, b).text
+
+
+# -- the CI metrics regression gate --------------------------------------------
+#: Metrics a generated baseline pins by default: the run's shape
+#: (jobs), its SLO outcomes (misses, slack tail), its hot-path costs
+#: (exec/predictor tails), and its energy.  Deliberately curated — the
+#: full flattened set would gate on noise like per-OPP residency splits.
+GATE_DEFAULT_METRICS = (
+    "executor.jobs",
+    "executor.misses",
+    "executor.switches",
+    "executor.energy_j",
+    "executor.slack_s.p50",
+    "executor.slack_s.p95",
+    "executor.exec_time_s.p95",
+    "executor.predictor_time_s.p95",
+)
+
+#: Tolerance written into generated baselines (a run re-simulated from
+#: committed seeds is deterministic; the headroom absorbs cross-version
+#: floating-point drift, not behaviour changes).
+_BASELINE_DEFAULT_TOLERANCE = 0.10
+
+
+def make_baseline(
+    directory: pathlib.Path | str,
+    metrics: Iterable[str] | None = None,
+    tolerance: float = _BASELINE_DEFAULT_TOLERANCE,
+) -> dict:
+    """Snapshot a trace directory's gated metrics as a baseline object.
+
+    The result is the committed-file format ``gate_directory`` consumes::
+
+        {"tolerance": 0.1,
+         "runs": {"<run>": {"executor.misses": 3.0, ...}, ...}}
+    """
+    directory = pathlib.Path(directory)
+    wanted = tuple(metrics) if metrics is not None else GATE_DEFAULT_METRICS
+    runs = {}
+    for name, payload in _load_metrics(directory).items():
+        flat = _flatten(payload)
+        runs[name] = {
+            metric: flat[metric] for metric in wanted if metric in flat
+        }
+    return {"tolerance": tolerance, "runs": runs}
+
+
+@dataclass(frozen=True)
+class GateFailure:
+    """One gate violation, with enough context to read in CI logs."""
+
+    run: str
+    metric: str
+    baseline: float | None
+    observed: float | None
+    reason: str
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of gating a trace directory against a baseline.
+
+    Attributes:
+        text: Human-readable gate report (pass and fail rows).
+        failures: Every violation; empty means the gate passed.
+        checked: (run, metric) pairs that were actually compared.
+    """
+
+    text: str
+    failures: tuple[GateFailure, ...]
+    checked: int
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def gate_directory(
+    directory: pathlib.Path | str,
+    baseline: dict,
+    tolerance: float | None = None,
+) -> GateResult:
+    """Hold a trace directory to a committed metrics baseline.
+
+    Every metric pinned by the baseline must be present in the run and
+    must not have moved in the worse direction beyond the tolerance
+    (baseline file's own tolerance unless overridden).  Neutral metrics
+    (e.g. job counts) must match within tolerance in *either* direction.
+
+    Args:
+        directory: Trace directory of the candidate run(s).
+        baseline: Parsed baseline object (see :func:`make_baseline`).
+        tolerance: Override for the baseline's recorded tolerance.
+    """
+    directory = pathlib.Path(directory)
+    if "runs" not in baseline:
+        raise ValueError(
+            "baseline has no 'runs' key — was it written by "
+            "`repro report DIR --make-baseline`?"
+        )
+    tol = (
+        tolerance
+        if tolerance is not None
+        else float(baseline.get("tolerance", _BASELINE_DEFAULT_TOLERANCE))
+    )
+    observed_runs = _load_metrics(directory)
+    failures: list[GateFailure] = []
+    rows = []
+    checked = 0
+    for run_name, pinned in sorted(baseline["runs"].items()):
+        if run_name not in observed_runs:
+            failures.append(
+                GateFailure(
+                    run=run_name,
+                    metric="-",
+                    baseline=None,
+                    observed=None,
+                    reason="baseline run missing from trace directory",
+                )
+            )
+            rows.append((run_name, "-", "n/a", "n/a", "MISSING RUN"))
+            continue
+        flat = _flatten(observed_runs[run_name])
+        for metric, base_value in sorted(pinned.items()):
+            checked += 1
+            observed = flat.get(metric)
+            if observed is None:
+                failures.append(
+                    GateFailure(
+                        run=run_name,
+                        metric=metric,
+                        baseline=base_value,
+                        observed=None,
+                        reason="metric missing from run",
+                    )
+                )
+                rows.append(
+                    (run_name, metric, _fmt(base_value), "n/a", "MISSING")
+                )
+                continue
+            direction = metric_direction(metric)
+            if _regressed(base_value, observed, direction, tol):
+                worse = "drifted" if direction is None else "regressed"
+                failures.append(
+                    GateFailure(
+                        run=run_name,
+                        metric=metric,
+                        baseline=base_value,
+                        observed=observed,
+                        reason=(
+                            f"{worse} beyond {100 * tol:g}% tolerance "
+                            f"({_fmt(base_value)} -> {_fmt(observed)})"
+                        ),
+                    )
+                )
+                rows.append(
+                    (
+                        run_name,
+                        metric,
+                        _fmt(base_value),
+                        _fmt(observed),
+                        "FAIL",
+                    )
+                )
+            else:
+                rows.append(
+                    (
+                        run_name,
+                        metric,
+                        _fmt(base_value),
+                        _fmt(observed),
+                        "ok",
+                    )
+                )
+    verdict = (
+        f"gate PASSED ({checked} metric(s) within {100 * tol:g}% tolerance)"
+        if not failures
+        else "gate FAILED: "
+        + "; ".join(f"{f.run}:{f.metric} {f.reason}" for f in failures)
+    )
+    text = (
+        _table(
+            ["run", "metric", "baseline", "observed", "status"],
+            rows,
+            title=f"metrics gate: {directory}",
+        )
+        + "\n\n"
+        + verdict
+    )
+    return GateResult(
+        text=text, failures=tuple(failures), checked=checked
+    )

@@ -1,0 +1,465 @@
+"""Declarative SLOs: error budgets, multi-window burn rates, alerts.
+
+The paper's value proposition *is* an SLO — meet the per-job response
+budget (deadline-miss rate comparable to peak performance) while
+minimizing energy — so the watchdog plane states that objective
+declaratively and holds every run to it while the run is still going.
+
+The model is the SRE one, translated to per-job events:
+
+- A :class:`SloSpec` maps each completed job to good/bad via a *signal*
+  (deadline miss, slack below a floor, energy above a cap, prediction
+  under-estimate beyond a tolerance) and declares the *objective*: the
+  fraction of bad jobs the service is allowed (e.g. 0.02 = at most 2%
+  of jobs may miss).
+- The **error budget** is the allowance itself.  After ``n`` jobs the
+  budget is ``objective * n`` bad jobs; :attr:`SloTracker.budget_consumed`
+  is the fraction of it already spent (>1 means the objective is blown
+  for the run so far).
+- The **burn rate** over a window is ``(bad / window) / objective`` —
+  how many times faster than allowed the budget is being spent.  1.0
+  exactly exhausts the budget; 10x exhausts it in a tenth of the run.
+- Alerts use **multi-window** evaluation (the SRE fast+slow pattern):
+  every :class:`BurnWindow` of a spec must simultaneously exceed its
+  threshold.  The long window proves the problem is sustained, the
+  short window proves it is still happening, so a transient spike
+  neither fires (short recovers) nor masks a real regression (long
+  remembers).
+
+Everything here is plain Python and allocation-light: one ring buffer
+of booleans per window, O(1) per job.  The consumer is
+:mod:`repro.telemetry.watch`, which feeds trackers from the live
+telemetry stream; specs and alerts round-trip through JSON so suites
+can be committed next to a workload.  See ``docs/slo_watchdog.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = [
+    "SIGNALS",
+    "JobObservation",
+    "BurnWindow",
+    "SloSpec",
+    "SloAlert",
+    "SloStatus",
+    "SloTracker",
+    "default_slos",
+    "specs_to_json",
+    "specs_from_json",
+]
+
+#: Signals a spec may classify jobs with, and what "bad" means for each.
+SIGNALS = (
+    "deadline_miss",   # bad: the job finished after its deadline
+    "slack_below",     # bad: slack_s < threshold (the tight tail)
+    "energy_above",    # bad: the job's energy > threshold joules
+    "under_estimate",  # bad: relative residual > threshold (model too slow)
+)
+
+
+@dataclass(frozen=True)
+class JobObservation:
+    """One completed job as the SLO plane sees it.
+
+    Attributes:
+        index: Job number, 0-based.
+        t_s: Completion time on the simulated clock.
+        missed: Whether the deadline was missed.
+        slack_s: Deadline minus completion (negative on a miss).
+        energy_j: Energy this job consumed (NaN when unknown).
+        residual_rel: Signed relative prediction residual
+            ``(observed - predicted) / predicted`` (NaN when the
+            governor does not predict).
+        switch_time_s: DVFS switch time charged to this job.
+    """
+
+    index: int
+    t_s: float
+    missed: bool
+    slack_s: float
+    energy_j: float = float("nan")
+    residual_rel: float = float("nan")
+    switch_time_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One alerting window: ``jobs`` lookback, ``max_burn_rate`` trigger."""
+
+    jobs: int
+    max_burn_rate: float
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"window must cover >= 1 job, got {self.jobs}")
+        if self.max_burn_rate <= 0:
+            raise ValueError(
+                f"max_burn_rate must be positive, got {self.max_burn_rate}"
+            )
+
+    def as_dict(self) -> dict:
+        return {"jobs": self.jobs, "max_burn_rate": self.max_burn_rate}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BurnWindow":
+        return cls(
+            jobs=int(data["jobs"]),
+            max_burn_rate=float(data["max_burn_rate"]),
+        )
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declared objective over the per-job stream.
+
+    Attributes:
+        name: Stable identifier (used in alerts, metrics, baselines).
+        signal: One of :data:`SIGNALS`.
+        objective: Allowed bad-job fraction, in (0, 1).
+        threshold: Signal cutoff (min slack seconds for ``slack_below``,
+            max joules for ``energy_above``, max relative residual for
+            ``under_estimate``; unused by ``deadline_miss``).
+        windows: Burn-rate windows that must ALL exceed their trigger
+            for an alert to fire.  Ordered long -> short by convention.
+        severity: ``"page"`` (urgent, arms the fallback) or ``"ticket"``.
+        description: Human-readable intent, shown in alerts.
+    """
+
+    name: str
+    signal: str
+    objective: float
+    threshold: float = 0.0
+    windows: tuple[BurnWindow, ...] = (
+        BurnWindow(jobs=40, max_burn_rate=2.0),
+        BurnWindow(jobs=10, max_burn_rate=5.0),
+    )
+    severity: str = "page"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.signal not in SIGNALS:
+            raise ValueError(
+                f"unknown signal {self.signal!r}; expected one of {SIGNALS}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if not self.windows:
+            raise ValueError("a spec needs at least one burn window")
+        if self.severity not in ("page", "ticket"):
+            raise ValueError(
+                f"severity must be 'page' or 'ticket', got {self.severity!r}"
+            )
+
+    def is_bad(self, obs: JobObservation) -> bool | None:
+        """Classify one job; None when the signal is unobservable."""
+        if self.signal == "deadline_miss":
+            return obs.missed
+        if self.signal == "slack_below":
+            return obs.slack_s < self.threshold
+        if self.signal == "energy_above":
+            if math.isnan(obs.energy_j):
+                return None
+            return obs.energy_j > self.threshold
+        # under_estimate
+        if math.isnan(obs.residual_rel):
+            return None
+        return obs.residual_rel > self.threshold
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "signal": self.signal,
+            "objective": self.objective,
+            "threshold": self.threshold,
+            "windows": [w.as_dict() for w in self.windows],
+            "severity": self.severity,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SloSpec":
+        return cls(
+            name=str(data["name"]),
+            signal=str(data["signal"]),
+            objective=float(data["objective"]),
+            threshold=float(data.get("threshold", 0.0)),
+            windows=tuple(
+                BurnWindow.from_dict(w) for w in data["windows"]
+            ),
+            severity=str(data.get("severity", "page")),
+            description=str(data.get("description", "")),
+        )
+
+
+@dataclass(frozen=True)
+class SloAlert:
+    """A burn-rate violation: every window of a spec is over its trigger.
+
+    Attributes:
+        spec_name: Which :class:`SloSpec` fired.
+        severity: The spec's severity at fire time.
+        t_s: Simulated time of the triggering job's completion.
+        job_index: The triggering job.
+        burn_rates: Burn rate per window, keyed ``"w<jobs>"``.
+        budget_consumed: Fraction of the run's error budget spent so far.
+        message: One-line human summary.
+    """
+
+    spec_name: str
+    severity: str
+    t_s: float
+    job_index: int
+    burn_rates: dict[str, float] = field(default_factory=dict)
+    budget_consumed: float = 0.0
+    message: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "spec_name": self.spec_name,
+            "severity": self.severity,
+            "t_s": self.t_s,
+            "job_index": self.job_index,
+            "burn_rates": dict(self.burn_rates),
+            "budget_consumed": self.budget_consumed,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SloAlert":
+        return cls(
+            spec_name=str(data["spec_name"]),
+            severity=str(data["severity"]),
+            t_s=float(data["t_s"]),
+            job_index=int(data["job_index"]),
+            burn_rates={
+                str(k): float(v) for k, v in data["burn_rates"].items()
+            },
+            budget_consumed=float(data["budget_consumed"]),
+            message=str(data.get("message", "")),
+        )
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """One tracker's instantaneous view (dashboard row).
+
+    Attributes:
+        spec: The spec being tracked.
+        jobs: Jobs classified so far (unobservable jobs excluded).
+        bad: Bad jobs so far.
+        budget_consumed: Fraction of the error budget spent.
+        burn_rates: Current burn rate per window, keyed ``"w<jobs>"``.
+        firing: Whether the alert condition currently holds.
+        alerts: Alerts raised so far.
+    """
+
+    spec: SloSpec
+    jobs: int
+    bad: int
+    budget_consumed: float
+    burn_rates: dict[str, float]
+    firing: bool
+    alerts: int
+
+
+class SloTracker:
+    """Streams one spec's error-budget accounting and burn-rate alarms.
+
+    An alert fires on the *rising edge* of the all-windows condition and
+    re-arms only after the condition clears, so a sustained violation
+    produces one alert, not one per job.
+
+    Args:
+        spec: The objective to hold the stream to.
+        min_jobs: Jobs that must be classified before the first alert
+            may fire (lets short windows fill with real data).
+    """
+
+    def __init__(self, spec: SloSpec, min_jobs: int | None = None):
+        self.spec = spec
+        self.min_jobs = (
+            min_jobs
+            if min_jobs is not None
+            else min(w.jobs for w in spec.windows)
+        )
+        self._rings = [deque(maxlen=w.jobs) for w in spec.windows]
+        self._bad_in_ring = [0] * len(spec.windows)
+        self.jobs = 0
+        self.bad = 0
+        self.alerts: list[SloAlert] = []
+        self._firing = False
+
+    def _window_key(self, window: BurnWindow) -> str:
+        return f"w{window.jobs}"
+
+    def burn_rates(self) -> dict[str, float]:
+        """Current burn rate per window (0 until a window has data)."""
+        rates = {}
+        for window, ring, bad in zip(
+            self.spec.windows, self._rings, self._bad_in_ring
+        ):
+            if not ring:
+                rates[self._window_key(window)] = 0.0
+            else:
+                rates[self._window_key(window)] = (
+                    bad / len(ring)
+                ) / self.spec.objective
+        return rates
+
+    @property
+    def budget_consumed(self) -> float:
+        """Bad jobs over the budget the objective grants the run so far."""
+        if self.jobs == 0:
+            return 0.0
+        return self.bad / (self.spec.objective * self.jobs)
+
+    @property
+    def firing(self) -> bool:
+        return self._firing
+
+    def observe(self, obs: JobObservation) -> SloAlert | None:
+        """Fold one job in; returns a newly-fired alert, if any."""
+        bad = self.spec.is_bad(obs)
+        if bad is None:
+            return None
+        self.jobs += 1
+        self.bad += int(bad)
+        for i, ring in enumerate(self._rings):
+            if len(ring) == ring.maxlen:
+                self._bad_in_ring[i] -= int(ring[0])
+            ring.append(bad)
+            self._bad_in_ring[i] += int(bad)
+
+        over = all(
+            ring
+            and (bad_count / len(ring)) / self.spec.objective
+            > window.max_burn_rate
+            for window, ring, bad_count in zip(
+                self.spec.windows, self._rings, self._bad_in_ring
+            )
+        )
+        if self.jobs < self.min_jobs:
+            over = False
+        if not over:
+            self._firing = False
+            return None
+        if self._firing:
+            return None  # still the same sustained violation
+        self._firing = True
+        rates = self.burn_rates()
+        worst = max(rates.values())
+        alert = SloAlert(
+            spec_name=self.spec.name,
+            severity=self.spec.severity,
+            t_s=obs.t_s,
+            job_index=obs.index,
+            burn_rates=rates,
+            budget_consumed=self.budget_consumed,
+            message=(
+                f"{self.spec.name}: burning error budget {worst:.1f}x too "
+                f"fast ({self.bad}/{self.jobs} bad jobs, "
+                f"{100 * self.budget_consumed:.0f}% of budget spent)"
+            ),
+        )
+        self.alerts.append(alert)
+        return alert
+
+    def status(self) -> SloStatus:
+        return SloStatus(
+            spec=self.spec,
+            jobs=self.jobs,
+            bad=self.bad,
+            budget_consumed=self.budget_consumed,
+            burn_rates=self.burn_rates(),
+            firing=self._firing,
+            alerts=len(self.alerts),
+        )
+
+
+def default_slos(
+    budget_s: float | None = None,
+    max_energy_per_job_j: float | None = None,
+    miss_objective: float = 0.02,
+) -> tuple[SloSpec, ...]:
+    """The stock SLO suite for an interactive run.
+
+    Args:
+        budget_s: The task's per-job budget; enables the slack-floor SLO
+            (tight tail) at 5% of the budget.
+        max_energy_per_job_j: Per-job energy cap; enables the energy SLO.
+        miss_objective: Allowed deadline-miss fraction (paper Fig. 15
+            holds the predictive governor near peak-performance rates).
+    """
+    specs = [
+        SloSpec(
+            name="deadline-miss-rate",
+            signal="deadline_miss",
+            objective=miss_objective,
+            description=(
+                "jobs must meet the response-time budget at a rate "
+                "comparable to peak performance (PAPER.md §1)"
+            ),
+        ),
+        SloSpec(
+            name="prediction-under-estimate",
+            signal="under_estimate",
+            objective=0.10,
+            threshold=0.10,
+            severity="ticket",
+            windows=(
+                BurnWindow(jobs=40, max_burn_rate=2.0),
+                BurnWindow(jobs=10, max_burn_rate=4.0),
+            ),
+            description=(
+                "the model may under-predict by >10% on at most 10% of "
+                "jobs — sustained under-estimation precedes miss storms"
+            ),
+        ),
+    ]
+    if budget_s is not None:
+        specs.append(
+            SloSpec(
+                name="p95-slack",
+                signal="slack_below",
+                objective=0.05,
+                threshold=0.05 * budget_s,
+                severity="ticket",
+                description=(
+                    "at most 5% of jobs may finish with less than 5% of "
+                    "the budget to spare (the p95 tight tail)"
+                ),
+            )
+        )
+    if max_energy_per_job_j is not None:
+        specs.append(
+            SloSpec(
+                name="energy-per-job",
+                signal="energy_above",
+                objective=0.10,
+                threshold=max_energy_per_job_j,
+                severity="ticket",
+                description="per-job energy stays under the declared cap",
+            )
+        )
+    return tuple(specs)
+
+
+def specs_to_json(specs: Iterable[SloSpec]) -> str:
+    """Serialize a spec suite (the ``repro watch --slo FILE`` format)."""
+    return json.dumps([spec.as_dict() for spec in specs], indent=2)
+
+
+def specs_from_json(text: str) -> tuple[SloSpec, ...]:
+    """Parse a spec suite written by :func:`specs_to_json`."""
+    data: Any = json.loads(text)
+    if not isinstance(data, list):
+        raise ValueError("SLO file must be a JSON array of spec objects")
+    return tuple(SloSpec.from_dict(item) for item in data)

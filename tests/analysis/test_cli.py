@@ -218,3 +218,122 @@ class TestCliTrace:
         capsys.readouterr()
         assert main(["report", str(tmp_path / "missing")]) == 2
         assert "metrics.json" in capsys.readouterr().err
+
+
+class TestCliWatch:
+    def test_drifted_run_violates_slo_and_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "watch", "rijndael", "--jobs", "120",
+                "--drift", "1.6", "--quiet",
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "SLO ALERT [page] deadline-miss-rate" in captured.out
+        assert "SLO VIOLATED" in captured.err
+
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["watch", "rijndael", "--jobs", "80", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "watch.rijndael.prediction (final)" in out
+        assert "miss-rate" in out
+
+    def test_arm_fallback_reacts_to_page_alert(self, capsys):
+        code = main(
+            [
+                "watch", "rijndael", "--jobs", "120", "--drift", "1.6",
+                "--governor", "adaptive", "--arm-fallback", "--quiet",
+            ]
+        )
+        capsys.readouterr()
+        # The adaptive governor may also recover on its own; the watch
+        # must complete either way.
+        assert code in (0, 1)
+
+    def test_unknown_app_rejected(self, capsys):
+        assert main(["watch", "nosuchapp"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_custom_slo_file(self, tmp_path, capsys):
+        from repro.telemetry.slo import SloSpec, specs_to_json
+
+        slo_file = tmp_path / "slos.json"
+        slo_file.write_text(
+            specs_to_json(
+                [
+                    SloSpec(
+                        name="custom-miss",
+                        signal="deadline_miss",
+                        objective=0.5,
+                    )
+                ]
+            )
+        )
+        code = main(
+            [
+                "watch", "rijndael", "--jobs", "60", "--quiet",
+                "--slo", str(slo_file),
+            ]
+        )
+        assert code == 0
+        assert "custom-miss" in capsys.readouterr().out
+
+
+class TestCliGate:
+    @pytest.fixture(scope="class")
+    def traced(self, tmp_path_factory):
+        trace_dir = tmp_path_factory.mktemp("slo_trace")
+        assert main(
+            [
+                "watch", "rijndael", "--jobs", "80", "--quiet",
+                "--trace", str(trace_dir),
+            ]
+        ) == 0
+        return trace_dir
+
+    def test_make_baseline_then_gate_passes(self, traced, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["report", str(traced), "--make-baseline", str(baseline)]
+        ) == 0
+        payload = json.loads(baseline.read_text())
+        pinned = payload["runs"]["watch.rijndael.prediction"]
+        assert "executor.misses" in pinned
+        capsys.readouterr()
+        assert main(["report", str(traced), "--gate", str(baseline)]) == 0
+        assert "gate PASSED" in capsys.readouterr().out
+
+    def test_tightened_baseline_fails_gate(self, traced, tmp_path, capsys):
+        baseline = tmp_path / "tight.json"
+        assert main(
+            ["report", str(traced), "--make-baseline", str(baseline)]
+        ) == 0
+        payload = json.loads(baseline.read_text())
+        payload["runs"]["watch.rijndael.prediction"][
+            "executor.misses"
+        ] = -1.0
+        baseline.write_text(json.dumps(payload))
+        capsys.readouterr()
+        code = main(["report", str(traced), "--gate", str(baseline)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "gate FAILED" in out
+        assert "executor.misses" in out
+
+    def test_diff_regression_exits_nonzero(self, traced, tmp_path, capsys):
+        import shutil
+
+        worse = tmp_path / "worse"
+        shutil.copytree(traced, worse)
+        metrics_path = worse / "watch.rijndael.prediction.metrics.json"
+        payload = json.loads(metrics_path.read_text())
+        payload["counters"]["executor.misses"] = 40.0
+        metrics_path.write_text(json.dumps(payload))
+        code = main(["report", str(traced), str(worse)])
+        assert code == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_identical_diff_exits_zero(self, traced, capsys):
+        assert main(["report", str(traced), str(traced)]) == 0
+        capsys.readouterr()

@@ -49,6 +49,13 @@ class TestExamples:
         assert "ldecode" in out and "xpilot" in out
         assert "0.0%" in out
 
+    def test_slo_watch_demo(self, capsys):
+        out = run_example("slo_watch_demo", capsys)
+        assert "SLO ALERT [page]" in out
+        assert "deadline-miss-rate" in out
+        assert "FIRING" in out
+        assert "miss-rate step" in out
+
     @pytest.mark.slow
     def test_budget_exploration(self, capsys):
         out = run_example("budget_exploration", capsys)

@@ -59,6 +59,13 @@ class TestRunResult:
         assert result.mean_predictor_time_s == 0.0
         assert result.mean_switch_time_s == 0.0
 
+    def test_empty_run_percentiles_are_nan_not_error(self):
+        import math
+
+        result = RunResult(governor="g", app="a", budget_s=0.05)
+        assert math.isnan(result.exec_time_percentile(95))
+        assert math.isnan(result.slack_percentile(5))
+
     def test_exec_times(self):
         result = self.make([0.03, 0.04])
         assert result.exec_times_s == [0.03, 0.04]

@@ -117,3 +117,36 @@ class TestTraceSession:
         target = tmp_path / "nested" / "dir"
         write_run(sample_telemetry(), target)
         assert (target / "run.trace.json").exists()
+
+
+class TestNullTelemetryExports:
+    """Disabled pipelines still export valid, *empty* artifacts."""
+
+    def test_write_run_on_null_telemetry(self, tmp_path):
+        from repro.telemetry import NO_TELEMETRY
+
+        written = write_run(NO_TELEMETRY, tmp_path)
+        assert {p.name for p in written} == {
+            "off.trace.json",
+            "off.events.jsonl",
+            "off.decisions.jsonl",
+            "off.metrics.json",
+            "off.report.txt",
+        }
+        trace = json.loads((tmp_path / "off.trace.json").read_text())
+        # Valid Chrome trace schema: only process/thread metadata events.
+        assert all(e["ph"] == "M" for e in trace["traceEvents"])
+        assert (tmp_path / "off.events.jsonl").read_text() == ""
+        assert (tmp_path / "off.decisions.jsonl").read_text() == ""
+        metrics = json.loads((tmp_path / "off.metrics.json").read_text())
+        assert metrics == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert "telemetry report" in (
+            tmp_path / "off.report.txt"
+        ).read_text()
+
+    def test_null_export_shortcuts_are_empty_but_valid(self):
+        from repro.telemetry import NO_TELEMETRY
+
+        assert NO_TELEMETRY.events_jsonl() == ""
+        assert NO_TELEMETRY.chrome_trace()["traceEvents"] is not None
+        assert "telemetry report" in NO_TELEMETRY.report()

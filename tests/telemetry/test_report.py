@@ -93,3 +93,166 @@ class TestDirectoryTools:
         sb.telemetry_for("only-in-b")
         sb.flush()
         assert "no run names shared" in diff_directories(a, b)
+
+
+class TestMetricDirection:
+    def test_lower_is_better(self):
+        from repro.telemetry.report import metric_direction
+
+        for name in (
+            "executor.misses",
+            "executor.energy_j",
+            "executor.exec_time_s.p95",
+            "adaptive.drift_alarms",
+            "watch.anomalies[switch.latency]",
+        ):
+            assert metric_direction(name) == "lower"
+
+    def test_higher_is_better(self):
+        from repro.telemetry.report import metric_direction
+
+        assert metric_direction("executor.slack_s.p50") == "higher"
+
+    def test_neutral(self):
+        from repro.telemetry.report import metric_direction
+
+        assert metric_direction("executor.jobs") is None
+
+
+class TestCompareDirectories:
+    def test_identical_runs_have_no_regressions(self, tmp_path):
+        from repro.telemetry.report import compare_directories
+
+        a = write_session(tmp_path, "a")
+        b = write_session(tmp_path, "b")
+        diff = compare_directories(a, b)
+        assert not diff.regressions
+        assert diff.shared_runs == ("sha.adaptive",)
+
+    def test_worse_direction_flags_regression(self, tmp_path):
+        from repro.telemetry.report import compare_directories
+
+        a = write_session(tmp_path, "a", jobs=5, misses=1)
+        b = write_session(tmp_path, "b", jobs=5, misses=3)
+        diff = compare_directories(a, b)
+        regressed = {d.metric for d in diff.regressions}
+        assert "executor.misses" in regressed
+        assert "<< regression" in diff.text
+
+    def test_better_direction_is_not_a_regression(self, tmp_path):
+        from repro.telemetry.report import compare_directories
+
+        a = write_session(tmp_path, "a", jobs=5, misses=3)
+        b = write_session(tmp_path, "b", jobs=5, misses=0)
+        diff = compare_directories(a, b)
+        assert not any(
+            d.metric == "executor.misses" for d in diff.regressions
+        )
+
+    def test_neutral_metric_flags_any_drift(self, tmp_path):
+        from repro.telemetry.report import compare_directories
+
+        a = write_session(tmp_path, "a", jobs=3)
+        b = write_session(tmp_path, "b", jobs=5)
+        diff = compare_directories(a, b)
+        assert any(d.metric == "executor.jobs" for d in diff.regressions)
+
+    def test_tolerance_absorbs_small_moves(self, tmp_path):
+        from repro.telemetry.report import compare_directories
+
+        a = write_session(tmp_path, "a", jobs=100, misses=100)
+        b = write_session(tmp_path, "b", jobs=100, misses=104)
+        assert not compare_directories(a, b, tolerance=0.05).regressions
+        assert compare_directories(a, b, tolerance=0.01).regressions
+
+
+class TestMetricsGate:
+    def trace_dir(self, tmp_path, sub="run", **kwargs):
+        return write_session(tmp_path, sub, **kwargs)
+
+    def test_baseline_round_trip_passes_gate(self, tmp_path):
+        from repro.telemetry.report import gate_directory, make_baseline
+
+        directory = self.trace_dir(tmp_path)
+        baseline = make_baseline(directory)
+        result = gate_directory(directory, baseline)
+        assert result.passed
+        assert result.checked > 0
+        assert "gate PASSED" in result.text
+
+    def test_tightened_baseline_fails_with_named_metric(self, tmp_path):
+        from repro.telemetry.report import gate_directory, make_baseline
+
+        directory = self.trace_dir(tmp_path, misses=2)
+        baseline = make_baseline(directory)
+        baseline["runs"]["sha.adaptive"]["executor.misses"] = 0.0
+        result = gate_directory(directory, baseline)
+        assert not result.passed
+        assert any(
+            f.metric == "executor.misses" for f in result.failures
+        )
+        assert "executor.misses" in result.text
+        assert "gate FAILED" in result.text
+
+    def test_missing_run_fails_gate(self, tmp_path):
+        from repro.telemetry.report import gate_directory, make_baseline
+
+        directory = self.trace_dir(tmp_path)
+        baseline = make_baseline(directory)
+        baseline["runs"]["ghost.run"] = {"executor.jobs": 5.0}
+        result = gate_directory(directory, baseline)
+        assert any(
+            f.reason == "baseline run missing from trace directory"
+            for f in result.failures
+        )
+
+    def test_missing_metric_fails_gate(self, tmp_path):
+        from repro.telemetry.report import gate_directory, make_baseline
+
+        directory = self.trace_dir(tmp_path)
+        baseline = make_baseline(directory)
+        baseline["runs"]["sha.adaptive"]["executor.unicorns"] = 1.0
+        result = gate_directory(directory, baseline)
+        assert any(
+            f.metric == "executor.unicorns"
+            and f.reason == "metric missing from run"
+            for f in result.failures
+        )
+
+    def test_tolerance_override_and_malformed_baseline(self, tmp_path):
+        import pytest as _pytest
+
+        from repro.telemetry.report import gate_directory, make_baseline
+
+        directory = self.trace_dir(tmp_path, misses=2)
+        baseline = make_baseline(directory)
+        baseline["runs"]["sha.adaptive"]["executor.misses"] = 1.9
+        # ~5% worse than pinned: passes at 10%, fails at 1%.
+        assert gate_directory(directory, baseline, tolerance=0.10).passed
+        assert not gate_directory(
+            directory, baseline, tolerance=0.01
+        ).passed
+        with _pytest.raises(ValueError, match="runs"):
+            gate_directory(directory, {"tolerance": 0.1})
+
+
+class TestEmptyDataRendering:
+    def test_empty_histogram_renders_na(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(name="hollow")
+        tel.metrics.histogram("executor.slack_s")  # registered, no data
+        text = render_report(tel)
+        assert "n/a" in text
+
+    def test_summarize_zero_job_run_shows_na(self, tmp_path):
+        from repro.telemetry import TraceSession
+
+        directory = tmp_path / "empty"
+        session = TraceSession(directory)
+        tel = session.telemetry_for("idle.run")
+        tel.metrics.histogram("executor.slack_s")
+        session.flush()
+        text = summarize_directory(directory)
+        assert "idle.run" in text
+        assert "n/a" in text
