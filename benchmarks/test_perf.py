@@ -224,6 +224,108 @@ def test_perf_watchdog_attached_overhead_bounded():
     )
 
 
+def _sha_controller():
+    """A small trained controller for the attribution guards (cached)."""
+    from repro.pipeline import PipelineConfig, build_controller
+    from repro.platform.switching import SwitchLatencyModel
+
+    if not hasattr(_sha_controller, "value"):
+        _sha_controller.value = build_controller(
+            get_app("sha"),
+            opps=OPPS,
+            config=PipelineConfig(n_profile_jobs=40),
+            switch_table=SwitchLatencyModel(OPPS).microbenchmark(10),
+        )
+    return _sha_controller.value
+
+
+def _predictive_run(telemetry=None, n_jobs=30):
+    """A predictive-governed sha run (the path that builds attribution)."""
+    from repro.runtime import TaskLoopRunner
+
+    app = get_app("sha")
+    controller = _sha_controller()
+    board = Board(opps=OPPS)
+    runner = TaskLoopRunner(
+        board,
+        app.task,
+        controller.governor(),
+        app.inputs(n_jobs, seed=0),
+        telemetry=telemetry,
+    )
+    return runner.run()
+
+
+def test_perf_attribution_disabled_is_provably_noop():
+    """With telemetry off, attribution capture must not run at all.
+
+    The governors guard ``build_provenance`` behind ``telemetry.enabled``,
+    so an untraced predictive run performs zero allocations attributable
+    to ``repro.telemetry.provenance`` — tracemalloc proves it, the same
+    way the watchdog guard does.
+    """
+    import tracemalloc
+
+    provenance_file = __import__(
+        "repro.telemetry.provenance", fromlist=["__file__"]
+    ).__file__
+    _predictive_run(telemetry=None, n_jobs=5)  # warm caches before tracing
+    tracemalloc.start()
+    try:
+        _predictive_run(telemetry=None, n_jobs=20)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    provenance_allocs = snapshot.filter_traces(
+        [tracemalloc.Filter(True, provenance_file)]
+    )
+    assert not provenance_allocs.statistics("lineno"), (
+        "an untraced predictive run allocated inside "
+        "repro.telemetry.provenance: "
+        f"{provenance_allocs.statistics('lineno')[:3]}"
+    )
+
+
+def test_perf_attribution_overhead_bounded(monkeypatch):
+    """Capturing attribution must stay within 2x of an audited run.
+
+    Every audited decision now snapshots coefficients, decomposes the
+    prediction, and walks the OPP ladder; all of it is per-job
+    O(features + OPPs).  Baseline: the same traced run with provenance
+    assembly stubbed out (schema-v1 audit behavior), so the bound
+    isolates the new capture cost from pre-existing telemetry overhead.
+    """
+    import repro.governors.predictive as predictive_mod
+    from repro.telemetry import Telemetry
+
+    audited = []
+
+    def run_audited():
+        telemetry = Telemetry()
+        result = _predictive_run(telemetry=telemetry)
+        audited.append((result.n_jobs, telemetry.decisions))
+
+    t_full = _best_of(run_audited)
+    n_jobs, decisions = audited[0]
+    assert len(decisions) == n_jobs
+    assert all(
+        r.attribution is not None for r in decisions if r.mode == "certified"
+    )
+    assert any(r.attribution is not None for r in decisions), (
+        "audited run captured no attribution payloads"
+    )
+
+    monkeypatch.setattr(
+        predictive_mod, "build_provenance", lambda **kwargs: (None, (), -1)
+    )
+    t_stubbed = _best_of(lambda: _predictive_run(telemetry=Telemetry()))
+
+    assert t_full < 2.0 * max(t_stubbed, 1e-4), (
+        f"attribution capture {t_full * 1e3:.1f} ms vs audited run "
+        f"without it {t_stubbed * 1e3:.1f} ms"
+    )
+
+
 def test_perf_telemetry_enabled_overhead_bounded():
     """Recording everything must stay within 2x of the bare run.
 

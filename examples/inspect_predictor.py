@@ -81,6 +81,44 @@ def main():
         "higher frequencies — the mapping the paper derives automatically."
     )
 
+    print("\n=== decision provenance: why the last job got its frequency ===")
+    # The same attribution payload the governors record per decision when
+    # tracing is on (see docs/decision_provenance.md): each model-space
+    # feature's share of the margined predicted time at the chosen OPP.
+    from repro.telemetry.provenance import build_provenance
+
+    attribution, ladder, _generation = build_provenance(
+        predictor=controller.predictor,
+        dvfs=controller.dvfs,
+        raw_features=features,
+        prediction=prediction,
+        margin=controller.predictor.margin,
+        effective_budget_s=app.task.budget_s,
+        switch_estimate_s=0.0,
+        opp=opp,
+        budget_s=app.task.budget_s,
+        deadline_s=app.task.budget_s,
+    )
+    rows = [
+        (name, f"{x:g}", f"{contribution * 1e3:+.3f}")
+        for name, x, contribution in zip(
+            attribution.columns, attribution.x, attribution.contributions_s
+        )
+        if x != 0.0 or contribution != 0.0
+    ]
+    rows.append(("(intercept)", "", f"{attribution.intercept_s * 1e3:+.3f}"))
+    print(format_table(["model-space feature", "x", "ms of prediction"], rows))
+    total = (
+        sum(attribution.contributions_s)
+        + attribution.intercept_s
+        + attribution.adjustment_s
+    )
+    chosen = next(rung for rung in ladder if rung.chosen)
+    print(
+        f"  contributions sum to {total * 1e3:.3f} ms — exactly the "
+        f"predicted time at the chosen {chosen.freq_mhz:.0f} MHz rung."
+    )
+
 
 if __name__ == "__main__":
     main()

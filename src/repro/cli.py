@@ -20,6 +20,12 @@ Usage::
                                          # (exit 1 on SLO violation)
     python -m repro check --all-workloads --strict
                                          # certify every workload's slice
+    python -m repro explain DIR --job 17 # why the governor chose that
+                                         # frequency for job 17
+    python -m repro replay DIR ctrl.json # re-derive every decision from
+                                         # the trace (exit 1 on mismatch)
+    python -m repro diff-decisions DIR_A DIR_B
+                                         # ranked decision divergences
 """
 
 from __future__ import annotations
@@ -76,6 +82,12 @@ def _list_experiments() -> str:
                  "live dashboard (repro watch --help)")
     lines.append("  check    run the slice certifier over workloads "
                  "(repro check --help)")
+    lines.append("  explain  attribute one recorded frequency decision to "
+                 "its features (repro explain --help)")
+    lines.append("  replay   re-derive a trace's decisions offline, verify "
+                 "bit-exact (repro replay --help)")
+    lines.append("  diff-decisions  classify decision divergences between "
+                 "two traces (repro diff-decisions --help)")
     return "\n".join(lines)
 
 
@@ -89,6 +101,12 @@ def main(argv: list[str] | None = None) -> int:
         return _watch_command(raw[1:])
     if raw and raw[0] == "report":
         return _report_command(raw[1:])
+    if raw and raw[0] == "explain":
+        return _explain_command(raw[1:])
+    if raw and raw[0] == "replay":
+        return _replay_command(raw[1:])
+    if raw and raw[0] == "diff-decisions":
+        return _diff_decisions_command(raw[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -522,6 +540,303 @@ def _watch_command(argv: list[str]) -> int:
     if watchdog.violated:
         print("\nSLO VIOLATED (page-severity alert fired)", file=sys.stderr)
         return 1
+    return 0
+
+
+def _select_runs(path: str, run: str | None) -> tuple[dict, list[str]]:
+    """Load decision logs under ``path``, optionally filtered to one run."""
+    from repro.telemetry.provenance import load_run_decisions
+
+    runs, warnings = load_run_decisions(path)
+    if run is not None:
+        if run not in runs:
+            raise FileNotFoundError(
+                f"run {run!r} not found under {path} "
+                f"(available: {', '.join(sorted(runs)) or 'none'})"
+            )
+        runs = {run: runs[run]}
+    return runs, warnings
+
+
+def _explain_command(argv: list[str]) -> int:
+    """``repro explain`` — attribute recorded decisions to their inputs.
+
+    Without ``--job``, prints a per-run provenance summary; with it, the
+    full attribution block (per-feature contributions, DVFS terms, and
+    the frequency ladder) for that job.  Exit codes: 0 ok, 2 missing
+    input or job.
+    """
+    from repro.telemetry.provenance import render_explanation, result_json
+
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description=(
+            "Explain recorded governor decisions from a trace directory "
+            "(or one *.decisions.jsonl file): per-feature contributions "
+            "to the predicted time, the fitted DVFS terms, and the "
+            "per-OPP accept/reject ladder."
+        ),
+    )
+    parser.add_argument(
+        "trace", help="trace directory (from --trace) or a decisions file"
+    )
+    parser.add_argument(
+        "--job", type=int, default=None, help="explain this job index only"
+    )
+    parser.add_argument(
+        "--run",
+        default=None,
+        metavar="NAME",
+        help="restrict to one run name (needed with --job when the "
+        "directory holds several runs)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the records as strict JSON instead of text",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as error:
+        return int(error.code or 0)
+
+    try:
+        runs, warnings = _select_runs(args.trace, args.run)
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+
+    if args.job is not None:
+        if len(runs) != 1:
+            print(
+                "--job needs a single run; pick one with --run "
+                f"(available: {', '.join(sorted(runs))})",
+                file=sys.stderr,
+            )
+            return 2
+        ((name, records),) = runs.items()
+        matches = [r for r in records if r.job_index == args.job]
+        if not matches:
+            print(
+                f"job {args.job} has no decision record in run {name!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.json:
+            print(result_json([r.as_dict() for r in matches]))
+        else:
+            for record in matches:
+                print(f"run: {name}")
+                print(render_explanation(record))
+        return 0
+
+    if args.json:
+        payload = {
+            name: [r.as_dict() for r in records]
+            for name, records in runs.items()
+        }
+        print(result_json(payload))
+        return 0
+    for name, records in runs.items():
+        attributed = [r for r in records if r.attribution is not None]
+        modes: dict[str, int] = {}
+        for record in records:
+            modes[record.mode or "default"] = (
+                modes.get(record.mode or "default", 0) + 1
+            )
+        mode_text = ", ".join(f"{m}:{c}" for m, c in sorted(modes.items()))
+        print(
+            f"{name}: {len(records)} decisions, {len(attributed)} with "
+            f"attribution (modes {mode_text or 'n/a'})"
+        )
+        if attributed:
+            print(
+                f"  explain one with: repro explain {args.trace} "
+                f"--run {name} --job {attributed[0].job_index}"
+            )
+    return 0
+
+
+def _replay_command(argv: list[str]) -> int:
+    """``repro replay`` — re-derive every decision, verify bit-exact.
+
+    Exit codes: 0 all replayed decisions agree bit-exactly (or a
+    counterfactual knob was set), 1 any mismatch, 2 missing input.
+    """
+    from repro.pipeline.persist import load_controller
+    from repro.telemetry.provenance import (
+        beta_from_controller_payload,
+        render_replay,
+        replay_records,
+        result_json,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro replay",
+        description=(
+            "Reconstruct every recorded governor decision from a trace "
+            "plus a persisted controller — no workload re-execution — "
+            "and verify bit-exact agreement.  --margin/--budget/--beta "
+            "re-score the trace under a hypothetical controller instead."
+        ),
+    )
+    parser.add_argument(
+        "trace", help="trace directory (from --trace) or a decisions file"
+    )
+    parser.add_argument(
+        "controller", help="saved controller JSON (pipeline.persist)"
+    )
+    parser.add_argument(
+        "--run", default=None, metavar="NAME", help="replay one run only"
+    )
+    parser.add_argument(
+        "--margin",
+        type=float,
+        default=None,
+        help="counterfactual: replay with this safety margin",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="counterfactual: replay as if jobs had this budget",
+    )
+    parser.add_argument(
+        "--beta",
+        default=None,
+        metavar="FILE",
+        help="counterfactual: replay with the anchor coefficients from "
+        "this controller JSON",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit strict JSON results"
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE", help="also write to FILE"
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as error:
+        return int(error.code or 0)
+
+    try:
+        controller = load_controller(args.controller)
+        runs, warnings = _select_runs(args.trace, args.run)
+        beta = None
+        if args.beta is not None:
+            beta = beta_from_controller_payload(
+                json.loads(pathlib.Path(args.beta).read_text())
+            )
+    except (FileNotFoundError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+
+    results = [
+        replay_records(
+            records,
+            controller.dvfs,
+            run=name,
+            margin=args.margin,
+            budget=args.budget,
+            beta=beta,
+        )
+        for name, records in runs.items()
+    ]
+    if args.json:
+        text = result_json([result.as_dict() for result in results])
+    else:
+        text = "\n\n".join(render_replay(result) for result in results)
+    print(text)
+    if args.output is not None:
+        out = pathlib.Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+    mismatched = any(
+        not result.counterfactual and result.mismatches for result in results
+    )
+    return 1 if mismatched else 0
+
+
+def _diff_decisions_command(argv: list[str]) -> int:
+    """``repro diff-decisions`` — classify divergences between two traces.
+
+    Exit codes: 0 ok (including divergences found — diffing is a
+    reporting tool), 2 missing input or no shared runs.
+    """
+    from repro.telemetry.provenance import (
+        diff_decisions,
+        render_diff,
+        result_json,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro diff-decisions",
+        description=(
+            "Align two traces' decision streams by job id, classify each "
+            "divergence (feature drift vs beta change vs margin/budget "
+            "change vs switch-time), and print a ranked report."
+        ),
+    )
+    parser.add_argument("trace_a", help="first trace directory or file")
+    parser.add_argument("trace_b", help="second trace directory or file")
+    parser.add_argument(
+        "--run", default=None, metavar="NAME", help="diff one run name only"
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=25,
+        help="divergences listed in the text report",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit strict JSON results"
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE", help="also write to FILE"
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as error:
+        return int(error.code or 0)
+
+    try:
+        runs_a, warnings_a = _select_runs(args.trace_a, args.run)
+        runs_b, warnings_b = _select_runs(args.trace_b, args.run)
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    for warning in warnings_a + warnings_b:
+        print(f"warning: {warning}", file=sys.stderr)
+
+    shared = sorted(runs_a.keys() & runs_b.keys())
+    if not shared:
+        print(
+            "no run names shared between the two traces "
+            f"(A: {', '.join(sorted(runs_a)) or 'none'}; "
+            f"B: {', '.join(sorted(runs_b)) or 'none'})",
+            file=sys.stderr,
+        )
+        return 2
+    diffs = [
+        diff_decisions(runs_a[name], runs_b[name], run=name)
+        for name in shared
+    ]
+    if args.json:
+        text = result_json([diff.as_dict() for diff in diffs])
+    else:
+        text = "\n\n".join(
+            render_diff(diff, limit=args.limit) for diff in diffs
+        )
+    print(text)
+    if args.output is not None:
+        out = pathlib.Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
     return 0
 
 

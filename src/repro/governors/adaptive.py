@@ -42,6 +42,7 @@ from repro.online.recalibrate import AdaptiveMargin
 from repro.online.residuals import ResidualMonitor, ResidualSnapshot
 from repro.platform.board import Board
 from repro.platform.cpu import Work
+from repro.telemetry.provenance import build_provenance
 
 if TYPE_CHECKING:  # avoid a circular import with the runtime package
     from repro.runtime.records import JobRecord
@@ -258,12 +259,30 @@ class AdaptiveGovernor(Governor):
                 )
             return decision
         if ctx.charge_overheads:
-            budget = (
-                ctx.deadline_s - board.now - self.inner.switch_estimate_s(ctx)
-            )
+            switch_estimate = self.inner.switch_estimate_s(ctx)
+            budget = ctx.deadline_s - board.now - switch_estimate
         else:
             budget = ctx.deadline_s - board.now
+            switch_estimate = (
+                self.inner.switch_estimate_s(ctx)
+                if telemetry.enabled
+                else float("nan")
+            )
         decision = self.inner.choose(outcome, budget)
+        attribution, ladder, generation = None, (), -1
+        if telemetry.enabled:
+            attribution, ladder, generation = build_provenance(
+                predictor=self.predictor,
+                dvfs=self.inner.dvfs,
+                raw_features=outcome.raw,
+                prediction=outcome.prediction,
+                margin=self.predictor.margin.value,
+                effective_budget_s=budget,
+                switch_estimate_s=switch_estimate,
+                opp=decision.opp,
+                budget_s=ctx.budget_s,
+                deadline_s=ctx.deadline_s,
+            )
         self.audit_decision(
             ctx,
             decision,
@@ -271,6 +290,9 @@ class AdaptiveGovernor(Governor):
             margin=self.predictor.margin.value,
             mode=AdaptiveMode.PREDICT.value,
             features=outcome.features,
+            attribution=attribution,
+            ladder=ladder,
+            beta_generation=generation,
         )
         return decision
 

@@ -112,14 +112,19 @@ class Governor(ABC):
         margin: float = float("nan"),
         mode: str = "",
         features: Mapping[str, float] | None = None,
+        attribution=None,
+        ladder=(),
+        beta_generation: int = -1,
     ) -> None:
         """Record this job's decision (and its inputs) in the audit log.
 
         Instrumented governors call this from :meth:`decide` with the
         rich inputs only they know (slice features, predicted time,
-        effective budget, margin).  For governors that never call it,
-        the executor appends a bare record, so the log still covers
-        every decision of the run.
+        effective budget, margin — and, for model-driven decisions, the
+        provenance payload from
+        :func:`~repro.telemetry.provenance.build_provenance`).  For
+        governors that never call it, the executor appends a bare
+        record, so the log still covers every decision of the run.
         """
         telemetry = self.telemetry
         if not telemetry.enabled:
@@ -139,6 +144,9 @@ class Governor(ABC):
                 margin=margin,
                 mode=mode,
                 features=dict(features) if features is not None else {},
+                beta_generation=beta_generation,
+                attribution=attribution,
+                ladder=tuple(ladder),
             )
         )
 

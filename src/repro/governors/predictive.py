@@ -29,8 +29,9 @@ from repro.models.timing import ExecutionTimePredictor, TimePrediction
 from repro.platform.cpu import Work
 from repro.platform.switching import SwitchTimeTable
 from repro.programs.analysis import SliceCertificate
-from repro.programs.interpreter import Interpreter
+from repro.programs.interpreter import Interpreter, RawFeatures
 from repro.programs.slicer import PredictionSlice
+from repro.telemetry.provenance import build_provenance
 
 __all__ = ["SliceOutcome", "PredictiveGovernor"]
 
@@ -44,11 +45,14 @@ class SliceOutcome:
         prediction: Margin-inflated anchor-time predictions.
         features: The slice's feature counters (site label -> value);
             kept for the decision audit log.
+        raw: The full slice feature object (counters + call addresses);
+            decision provenance re-encodes it into model space.
     """
 
     slice_work: Work
     prediction: TimePrediction
     features: dict[str, float] | None = None
+    raw: RawFeatures | None = None
 
 
 class PredictiveGovernor(Governor):
@@ -118,6 +122,7 @@ class PredictiveGovernor(Governor):
             slice_work=slice_result.work,
             prediction=self.predictor.predict(slice_result.features),
             features=dict(slice_result.features.counters),
+            raw=slice_result.features,
         )
 
     def switch_estimate_s(self, ctx: JobContext) -> float:
@@ -219,9 +224,8 @@ class PredictiveGovernor(Governor):
                     category="predictor",
                     args={"job": ctx.index},
                 )
-            effective_budget = (
-                ctx.deadline_s - board.now - self.switch_estimate_s(ctx)
-            )
+            switch_estimate = self.switch_estimate_s(ctx)
+            effective_budget = ctx.deadline_s - board.now - switch_estimate
             if bound_work is not None:
                 # Keep the unspent remainder of the certified bound
                 # reserved: a lucky fast slice run must not unlock
@@ -240,7 +244,26 @@ class PredictiveGovernor(Governor):
                     ).inc()
         else:
             effective_budget = ctx.deadline_s - board.now
+            switch_estimate = (
+                self.switch_estimate_s(ctx)
+                if self.telemetry.enabled
+                else float("nan")
+            )
         decision = self.choose(outcome, effective_budget)
+        attribution, ladder, generation = None, (), -1
+        if self.telemetry.enabled:
+            attribution, ladder, generation = build_provenance(
+                predictor=self.predictor,
+                dvfs=self.dvfs,
+                raw_features=outcome.raw,
+                prediction=outcome.prediction,
+                margin=self.margin_value(),
+                effective_budget_s=effective_budget,
+                switch_estimate_s=switch_estimate,
+                opp=decision.opp,
+                budget_s=ctx.budget_s,
+                deadline_s=ctx.deadline_s,
+            )
         self.audit_decision(
             ctx,
             decision,
@@ -248,5 +271,8 @@ class PredictiveGovernor(Governor):
             margin=self.margin_value(),
             mode=mode,
             features=outcome.features,
+            attribution=attribution,
+            ladder=ladder,
+            beta_generation=generation,
         )
         return decision

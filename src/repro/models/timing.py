@@ -118,6 +118,13 @@ class ExecutionTimePredictor:
             x = self.expansion.transform_one(x)
         return x
 
+    def model_space(self, raw: RawFeatures) -> np.ndarray:
+        """The feature vector the anchor models consume (encoded and,
+        when a polynomial expansion is fitted, expanded).  Decision
+        provenance records this vector so a prediction can be re-derived
+        offline without re-running the slice."""
+        return self._encode(raw)
+
     def predict(self, raw: RawFeatures) -> TimePrediction:
         """Anchor-time predictions for one job, with the margin applied.
 

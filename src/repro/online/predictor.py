@@ -79,11 +79,23 @@ class OnlineTimePredictor:
         """Length of the (possibly expanded) feature vector."""
         return self.model_fmax.n_features
 
+    @property
+    def generation(self) -> int:
+        """Recalibration generation: RLS updates absorbed since the
+        offline fit (0 = still deciding on offline coefficients).  Both
+        anchors update together, so fmax's counter stands for both."""
+        return self.model_fmax.n_updates
+
     def _encode(self, raw: RawFeatures) -> np.ndarray:
         x = self.encoder.encode(raw)
         if self.expansion is not None:
             x = self.expansion.transform_one(x)
         return x
+
+    def model_space(self, raw: RawFeatures) -> np.ndarray:
+        """The feature vector the anchor models consume (see
+        :meth:`repro.models.timing.ExecutionTimePredictor.model_space`)."""
+        return self._encode(raw)
 
     def predict(self, raw: RawFeatures) -> TimePrediction:
         """Margin-inflated anchor predictions (non-negative), remembering

@@ -161,6 +161,29 @@ class OnlineAnchorModel:
         )
         self._rls = RecursiveLeastSquares(theta0, lam=self.lam, p0=self.p0)
 
+    def snapshot(self) -> dict[str, Any]:
+        """The exact coefficients :meth:`predict_one` would use now, as
+        a plain dict (shaped like
+        :class:`~repro.telemetry.audit.AnchorSnapshot`).  Two kinds
+        because the two code paths of :meth:`predict_one` are distinct
+        floating-point expressions: ``online-pre`` before the first
+        update (warm-start coefficients, 1-D dot) and ``online`` once
+        RLS is live (design-space theta over frozen scales)."""
+        if self._rls is None:
+            return {
+                "kind": "online-pre",
+                "coef": self.offline_coef.tolist(),
+                "intercept": self.offline_intercept,
+                "scales": None,
+            }
+        assert self._scales is not None
+        return {
+            "kind": "online",
+            "coef": self._rls.theta.tolist(),
+            "intercept": 0.0,
+            "scales": self._scales.tolist(),
+        }
+
     def predict_one(self, x: np.ndarray) -> float:
         """Predicted time for one feature vector (seconds, unmargined)."""
         if self._rls is None:

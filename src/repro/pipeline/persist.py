@@ -15,6 +15,7 @@ user during application installation").
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -36,6 +37,7 @@ from repro.programs.serialize import program_from_dict, program_to_dict
 from repro.programs.slicer import PredictionSlice
 
 __all__ = [
+    "controller_fingerprint",
     "save_controller",
     "load_controller",
     "save_adaptive_state",
@@ -97,6 +99,23 @@ def _model_from_dict(data: dict[str, Any]) -> AsymmetricLassoModel:
     )
 
 
+def controller_fingerprint(controller: TrainedController) -> str:
+    """Short stable hash of what the controller *decides with*.
+
+    Covers the anchor coefficients, margin, and the OPP table — the
+    inputs deterministic trace replay depends on.  Embedded in the saved
+    payload so ``repro replay`` can tell whether a trace and a
+    controller file belong together.
+    """
+    from repro.telemetry.provenance import predictor_fingerprint
+
+    digest = hashlib.sha256()
+    digest.update(predictor_fingerprint(controller.predictor).encode())
+    for point in controller.dvfs.opps:
+        digest.update(repr((point.index, point.freq_hz)).encode())
+    return digest.hexdigest()[:16]
+
+
 def save_controller(
     controller: TrainedController,
     path: str | Path,
@@ -107,6 +126,7 @@ def save_controller(
     heterogeneous = any(isinstance(p, ClusterOperatingPoint) for p in opps)
     payload: dict[str, Any] = {
         "format_version": _FORMAT_VERSION,
+        "fingerprint": controller_fingerprint(controller),
         "app_name": controller.app_name,
         "config": {
             "alpha": controller.config.alpha,

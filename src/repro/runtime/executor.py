@@ -19,6 +19,7 @@ mid-job frequency change re-times it.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Mapping, Sequence
 
 from repro.governors.base import Decision, Governor, JobContext
@@ -198,12 +199,39 @@ class TaskLoopRunner:
             ctx, work, jitter
         )
         if telemetry.enabled:
+            span_args: dict = {"job": index}
+            if decision is not None:
+                span_args["opp_index"] = decision.opp.index
+                span_args["opp_mhz"] = decision.opp.freq_mhz
+            # Effective-budget breakdown (budget - slice time - p95 switch
+            # estimate), so attribution needs no side-channel: duck-typed
+            # off the governor (or its inner predictive delegate).
+            estimator = self.governor
+            if not hasattr(estimator, "switch_estimate_s"):
+                estimator = getattr(self.governor, "inner", None)
+            if estimator is not None and hasattr(
+                estimator, "switch_estimate_s"
+            ):
+                switch_estimate = estimator.switch_estimate_s(ctx)
+                span_args.update(
+                    budget_s=self.task.budget_s,
+                    slice_time_s=predictor_time,
+                    switch_estimate_s=switch_estimate,
+                    effective_budget_s=(
+                        deadline - board.now - switch_estimate
+                    ),
+                )
+                margin_value = getattr(estimator, "margin_value", None)
+                if callable(margin_value):
+                    margin = margin_value()
+                    if not math.isnan(margin):
+                        span_args["margin"] = margin
             telemetry.span(
                 "predict",
                 decide_from,
                 board.now,
                 category="predictor",
-                args={"job": index},
+                args=span_args,
             )
             # Governors that don't self-report still land in the audit
             # log, with the fields every decision has.

@@ -5,13 +5,25 @@ simulated clock, a metrics registry (counters, gauges, fixed-bucket
 histograms), a governor decision audit log, and exporters to Chrome
 trace-event JSON (Perfetto), JSONL, and plain-text reports.
 
-Everything here is dependency-free and import-cycle-free: the runtime,
-the governors, and the online-adaptation loop all write into one
-:class:`Telemetry` per run, and :data:`NO_TELEMETRY` is the zero-cost
-default when tracing is off.  See ``docs/telemetry.md``.
+The subsystem stays import-cycle-free (only the provenance engine pulls
+in numpy; nothing here imports the governors or the runtime): the
+runtime, the governors, and the online-adaptation loop all write into
+one :class:`Telemetry` per run, and :data:`NO_TELEMETRY` is the
+zero-cost default when tracing is off.  Schema-v2 decision records add
+full provenance — per-feature attribution, coefficient snapshots, and
+the OPP ladder — consumed by ``repro explain`` / ``repro replay`` /
+``repro diff-decisions``.  See ``docs/telemetry.md`` and
+``docs/decision_provenance.md``.
 """
 
-from repro.telemetry.audit import DecisionRecord
+from repro.telemetry.audit import (
+    SCHEMA_VERSION,
+    AnchorSnapshot,
+    DecisionAttribution,
+    DecisionRecord,
+    LadderRung,
+    read_decisions_jsonl,
+)
 from repro.telemetry.events import (
     NO_TELEMETRY,
     CallbackSink,
@@ -35,6 +47,20 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     geometric_buckets,
     percentile,
+)
+from repro.telemetry.provenance import (
+    DecisionDiff,
+    Divergence,
+    ReplayedDecision,
+    ReplayResult,
+    build_provenance,
+    diff_decisions,
+    load_run_decisions,
+    predict_anchor,
+    render_diff,
+    render_explanation,
+    render_replay,
+    replay_records,
 )
 from repro.telemetry.report import (
     DirectoryDiff,
@@ -61,7 +87,24 @@ from repro.telemetry.watch import (
 )
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "AnchorSnapshot",
+    "DecisionAttribution",
     "DecisionRecord",
+    "LadderRung",
+    "read_decisions_jsonl",
+    "build_provenance",
+    "predict_anchor",
+    "ReplayedDecision",
+    "ReplayResult",
+    "replay_records",
+    "Divergence",
+    "DecisionDiff",
+    "diff_decisions",
+    "load_run_decisions",
+    "render_explanation",
+    "render_replay",
+    "render_diff",
     "TraceEvent",
     "TelemetrySink",
     "ListSink",

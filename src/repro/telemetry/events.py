@@ -197,7 +197,9 @@ class Telemetry:
             record.t_s,
             track="governor",
             category="decision",
-            args=record.as_dict(),
+            # Scalars only: the full provenance payload would bloat the
+            # Chrome trace; it ships in the decisions log instead.
+            args=record.summary_dict(),
         )
 
     def has_decision_for(self, job_index: int) -> bool:

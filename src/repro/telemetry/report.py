@@ -164,7 +164,12 @@ def _load_metrics(directory: pathlib.Path) -> dict[str, dict]:
 
 
 def summarize_directory(directory: pathlib.Path | str) -> str:
-    """Summary table over every run recorded in a trace directory."""
+    """Summary table over every run recorded in a trace directory.
+
+    Degrades gracefully on partial traces: a run without an audit log,
+    or with records from another schema version, gets a warning line in
+    the decision-provenance section instead of an exception.
+    """
     directory = pathlib.Path(directory)
     runs = _load_metrics(directory)
     rows = []
@@ -182,12 +187,35 @@ def summarize_directory(directory: pathlib.Path | str) -> str:
                 _fmt(hist.get("p95"), unit_ms=True),
             )
         )
-    return _table(
+    text = _table(
         ["run", "jobs", "misses", "switches", "alarms",
          "slack-p50[ms]", "slack-p95[ms]"],
         rows,
         title=f"trace summary: {directory}",
     )
+    return text + "\n\n" + _decisions_section(directory, runs)
+
+
+def _decisions_section(directory: pathlib.Path, runs: dict) -> str:
+    """Per-run audit-log coverage, warn-don't-crash on missing/old logs."""
+    from repro.telemetry.audit import read_decisions_jsonl
+
+    lines = ["decision provenance:"]
+    for name in runs:
+        log = directory / f"{name}.decisions.jsonl"
+        records, warnings = read_decisions_jsonl(log)
+        attributed = sum(1 for r in records if r.attribution is not None)
+        if records:
+            lines.append(
+                f"  {name}: {len(records)} decisions audited, "
+                f"{attributed} with attribution"
+                + (" (replayable via `repro replay`)" if attributed else "")
+            )
+        for warning in warnings:
+            lines.append(f"  {name}: warning: {warning}")
+        if not records and not warnings:
+            lines.append(f"  {name}: audit log is empty")
+    return "\n".join(lines)
 
 
 def _flatten(metrics: dict) -> dict[str, float]:
