@@ -6,7 +6,6 @@ throughput, slice execution, model fitting, and a full governed job.
 They guard against performance regressions in the substrate itself.
 """
 
-from repro.features.encoding import FeatureEncoder
 from repro.features.profiler import Profiler
 from repro.models.solver import solve_asymmetric_lasso
 from repro.platform.board import Board
@@ -323,6 +322,53 @@ def test_perf_attribution_overhead_bounded(monkeypatch):
     assert t_full < 2.0 * max(t_stubbed, 1e-4), (
         f"attribution capture {t_full * 1e3:.1f} ms vs audited run "
         f"without it {t_stubbed * 1e3:.1f} ms"
+    )
+
+
+def test_perf_fleet_overhead_per_job_bounded():
+    """Fleet scheduling must cost <= 2x a bare executor job at 1k sessions.
+
+    A shard multiplexes sessions through a heap (O(log n) per job) and
+    wraps every job in SLO classification; sessions add per-session
+    setup (board, governor, arrival schedule, trackers).  Amortized
+    over a 1000-session shard, all of that together must stay within
+    2x the per-job cost of one plain executor run of the same
+    workload — i.e. the fleet layer may at most double a job, never
+    multiply it.  Uses sha + the interactive governor so no training
+    cost pollutes either side.
+    """
+    from repro.fleet.session import FleetBuild
+    from repro.fleet.shard import plan_shards, run_shard
+    from repro.fleet.tenant import TenantSpec
+
+    n_sessions = 1000
+    jobs_per_session = 4
+    tenants = (
+        TenantSpec(
+            name="scale",
+            app="sha",
+            governor="interactive",
+            sessions=n_sessions,
+            jobs_per_session=jobs_per_session,
+        ),
+    )
+    build = FleetBuild(root_seed=7)
+    (plan,) = plan_shards(tenants, 1, build)
+    run_shard(plan)  # warm app/program caches outside the timed region
+
+    fleet_jobs = n_sessions * jobs_per_session
+    t_fleet = _best_of(lambda: run_shard(plan), rounds=2)
+
+    single_jobs = 200
+    t_single = _best_of(
+        lambda: _smoke_run(telemetry=None, n_jobs=single_jobs), rounds=3
+    )
+
+    fleet_per_job = t_fleet / fleet_jobs
+    single_per_job = t_single / single_jobs
+    assert fleet_per_job < 2.0 * single_per_job, (
+        f"fleet job costs {fleet_per_job * 1e6:.1f} us vs "
+        f"{single_per_job * 1e6:.1f} us bare ({n_sessions} sessions)"
     )
 
 

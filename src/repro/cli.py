@@ -107,6 +107,10 @@ def main(argv: list[str] | None = None) -> int:
         return _replay_command(raw[1:])
     if raw and raw[0] == "diff-decisions":
         return _diff_decisions_command(raw[1:])
+    if raw and raw[0] == "fleet":
+        from repro.fleet.cli import fleet_command
+
+        return fleet_command(raw[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -260,6 +264,14 @@ def _report_command(argv: list[str]) -> int:
         "baseline JSON at FILE",
     )
     parser.add_argument(
+        "--runs",
+        default=None,
+        metavar="PREFIX",
+        help="with --gate: only hold baseline runs whose name starts "
+        "with PREFIX (e.g. 'watch.' or 'fleet.'), so one committed "
+        "baseline can serve several CI jobs",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         metavar="FILE",
@@ -296,7 +308,7 @@ def _report_command(argv: list[str]) -> int:
             elif args.gate is not None:
                 baseline = json.loads(pathlib.Path(args.gate).read_text())
                 gate = gate_directory(
-                    path, baseline, tolerance=args.tolerance
+                    path, baseline, tolerance=args.tolerance, runs=args.runs
                 )
                 text = gate.text
                 if not gate.passed:
@@ -314,7 +326,7 @@ def _report_command(argv: list[str]) -> int:
                 )
             else:
                 text = summarize_directory(path)
-    except FileNotFoundError as error:
+    except (FileNotFoundError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 2
     print(text)

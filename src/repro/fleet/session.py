@@ -1,0 +1,220 @@
+"""One tenant session: an executor plus its SLO accounting.
+
+A session is the fleet's unit of work: one
+:class:`~repro.runtime.executor.TaskLoopRunner` over one job stream,
+with a :class:`~repro.telemetry.slo.SloTracker` per spec fed directly
+from the job records as they complete.  Sessions are built entirely
+from ``(tenant spec, session index, root seed)`` — every random
+stream is named by :func:`repro.fleet.seeding.session_seed` — so the
+same session computes identically on any shard of any worker.
+
+Controller training is the one expensive, shareable step (profiling
+hundreds of jobs per app), so each process keeps a module-level
+:class:`~repro.analysis.harness.Lab` per build configuration; a
+coordinator can pre-warm it before forking workers and every child
+inherits the trained artifacts for free.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.analysis.harness import Lab
+from repro.fleet.seeding import derive_seed, session_seed
+from repro.fleet.tenant import TenantSpec
+from repro.online.inject import StepDriftJitter
+from repro.pipeline.config import PipelineConfig
+from repro.platform.board import Board
+from repro.platform.jitter import LogNormalJitter, NoJitter
+from repro.platform.switching import SwitchLatencyModel
+from repro.runtime.executor import TaskLoopRunner
+from repro.telemetry import NO_TELEMETRY
+from repro.telemetry.slo import (
+    JobObservation,
+    SloTracker,
+    SloTrackerState,
+    default_slos,
+)
+
+__all__ = ["FleetBuild", "SessionResult", "Session", "run_session", "lab_for"]
+
+
+@dataclass(frozen=True)
+class FleetBuild:
+    """Shared build configuration for a fleet's trained artifacts.
+
+    Attributes:
+        root_seed: The fleet's root seed; controller training derives
+            its own seed from it (never from shard/worker identity).
+        profile_jobs: Jobs profiled per app when training predictive
+            controllers.  Smaller than the single-run default: a fleet
+            amortizes one controller over thousands of sessions and the
+            training cost is paid per worker process.
+        switch_samples: Samples per OPP pair for the switch-time
+            microbenchmark.
+    """
+
+    root_seed: int
+    profile_jobs: int = 60
+    switch_samples: int = 60
+
+
+#: Per-process Lab cache: (root_seed, profile_jobs, switch_samples) ->
+#: Lab.  Forked workers inherit a pre-warmed parent cache.
+_LABS: dict[tuple[int, int, int], Lab] = {}
+
+
+def lab_for(build: FleetBuild) -> Lab:
+    """This process's shared Lab for a build configuration."""
+    key = (build.root_seed, build.profile_jobs, build.switch_samples)
+    if key not in _LABS:
+        _LABS[key] = Lab(
+            pipeline_config=PipelineConfig(n_profile_jobs=build.profile_jobs),
+            seed=derive_seed(build.root_seed, "fleet", "build"),
+            switch_samples=build.switch_samples,
+        )
+    return _LABS[key]
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """What one session did, ready to merge shard-count-independently.
+
+    Attributes:
+        tenant: Owning tenant's name.
+        index: Session index within the tenant (the seed path).
+        jobs: Jobs completed.
+        misses: Deadline misses.
+        energy_j: Total board energy over the session.
+        switches: DVFS transitions performed.
+        makespan_s: Virtual time from first release to last completion.
+        slacks_s: Per-job slack values, in job order (fleet-level
+            percentile roll-ups need the raw values).
+        slo_states: One mergeable tracker snapshot per tenant SLO spec,
+            in spec order.
+    """
+
+    tenant: str
+    index: int
+    jobs: int
+    misses: int
+    energy_j: float
+    switches: int
+    makespan_s: float
+    slacks_s: tuple[float, ...]
+    slo_states: tuple[SloTrackerState, ...]
+
+
+class Session:
+    """A live session: steps its runner, classifies each job."""
+
+    def __init__(self, tenant: TenantSpec, index: int, build: FleetBuild):
+        self.tenant = tenant
+        self.index = index
+        lab = lab_for(build)
+        app = lab.app(tenant.app)
+        budget = app.task.budget_s * tenant.budget_scale
+        n_jobs = tenant.jobs_per_session
+        root = build.root_seed
+
+        arrival_rng = random.Random(
+            session_seed(root, tenant.name, index, "arrivals")
+        )
+        arrivals = tenant.arrival.arrivals(n_jobs, budget, arrival_rng)
+
+        jitter_seed = session_seed(root, tenant.name, index, "jitter")
+        base = (
+            LogNormalJitter(tenant.jitter_sigma, seed=jitter_seed)
+            if tenant.jitter_sigma > 0
+            else NoJitter()
+        )
+        board = Board(
+            opps=lab.opps,
+            switcher=SwitchLatencyModel(
+                lab.opps,
+                seed=session_seed(root, tenant.name, index, "switch"),
+            ),
+        )
+        if tenant.drift_factor is not None and tenant.drift_factor != 1.0:
+            board.cpu.jitter = StepDriftJitter(
+                base,
+                tenant.drift_factor,
+                shift_at_s=tenant.drift_at_frac * n_jobs * budget,
+                clock=lambda: board.now,
+            )
+        else:
+            board.cpu.jitter = base
+
+        self.runner = TaskLoopRunner(
+            board=board,
+            task=app.task.with_budget(budget),
+            governor=lab.make_governor(tenant.governor, tenant.app),
+            inputs=app.inputs(
+                n_jobs, seed=session_seed(root, tenant.name, index, "inputs")
+            ),
+            arrivals=arrivals,
+            interpreter=lab.interpreter,
+            telemetry=NO_TELEMETRY,
+        )
+        self.trackers = tuple(
+            SloTracker(spec)
+            for spec in default_slos(
+                budget_s=budget, miss_objective=tenant.miss_objective
+            )
+        )
+        self._energy_mark = 0.0
+        self._finished_at = 0.0
+
+    def next_arrival_s(self) -> float | None:
+        """Release time of the next pending job (None when exhausted)."""
+        return self.runner.next_arrival_s()
+
+    def step(self) -> bool:
+        """Run the next job; False when the session is exhausted."""
+        record = self.runner.step()
+        if record is None:
+            return False
+        energy = self.runner.board.energy_j()
+        predicted = record.predicted_time_s
+        residual = float("nan")
+        if not math.isnan(predicted) and predicted > 0:
+            residual = (record.exec_time_s - predicted) / predicted
+        observation = JobObservation(
+            index=record.index,
+            t_s=record.end_s,
+            missed=record.missed,
+            slack_s=record.slack_s,
+            energy_j=energy - self._energy_mark,
+            residual_rel=residual,
+        )
+        self._energy_mark = energy
+        self._finished_at = record.end_s
+        for tracker in self.trackers:
+            tracker.observe(observation)
+        return True
+
+    def result(self) -> SessionResult:
+        run = self.runner.result()
+        return SessionResult(
+            tenant=self.tenant.name,
+            index=self.index,
+            jobs=run.n_jobs,
+            misses=run.n_missed,
+            energy_j=run.energy_j,
+            switches=run.switch_count,
+            makespan_s=self._finished_at,
+            slacks_s=tuple(job.slack_s for job in run.jobs),
+            slo_states=tuple(tracker.state() for tracker in self.trackers),
+        )
+
+
+def run_session(
+    tenant: TenantSpec, index: int, build: FleetBuild
+) -> SessionResult:
+    """Run one session start to finish (the shard loop inlines this)."""
+    session = Session(tenant, index, build)
+    while session.step():
+        pass
+    return session.result()

@@ -1,0 +1,146 @@
+"""Shards: many interleaved sessions under one virtual clock.
+
+A shard owns a slice of the fleet's sessions and runs them as one
+event loop: a heap keyed by each session's next release time picks
+whichever session fires next, that session executes exactly one job,
+and the loop re-keys it.  This is the serving-system shape — thousands
+of independent deadline clocks multiplexed onto one scheduler — and it
+bounds the shard's virtual-time skew to one job.
+
+Sessions are computationally independent (each has its own board), so
+the interleaving order cannot change any session's results; what the
+loop buys is a single monotone fleet timeline per shard (live
+dashboards and traces see jobs in virtual-time order) at O(log n)
+scheduling cost per job.  :class:`ShardPlan` is a frozen, picklable
+value so a coordinator can ship shards to worker processes; results
+come back in canonical ``(tenant, session index)`` order regardless of
+how the event loop interleaved them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.fleet.session import FleetBuild, Session, SessionResult
+from repro.fleet.tenant import TenantSpec
+
+__all__ = ["ShardPlan", "ShardResult", "plan_shards", "run_shard"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's share of a fleet, fully self-describing.
+
+    Attributes:
+        index: Shard number, 0-based.
+        n_shards: Total shards in the fleet (for display only — it
+            never enters any seed derivation).
+        build: Shared build configuration (root seed, training size).
+        tenants: The full tenant roster (specs are small; shipping all
+            of them keeps the plan self-contained).
+        assignments: ``(tenant name, session index)`` pairs this shard
+            runs.
+    """
+
+    index: int
+    n_shards: int
+    build: FleetBuild
+    tenants: tuple[TenantSpec, ...]
+    assignments: tuple[tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.n_shards:
+            raise ValueError(
+                f"shard index {self.index} outside [0, {self.n_shards})"
+            )
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One shard's outcome: session results in canonical order.
+
+    Attributes:
+        index: The shard that produced this.
+        sessions: Results sorted by (tenant order in the roster,
+            session index) — the order the coordinator merges in.
+        jobs_run: Total jobs the shard's event loop executed.
+    """
+
+    index: int
+    sessions: tuple[SessionResult, ...]
+    jobs_run: int
+
+
+def plan_shards(
+    tenants: tuple[TenantSpec, ...],
+    n_shards: int,
+    build: FleetBuild,
+) -> tuple[ShardPlan, ...]:
+    """Split a fleet round-robin across ``n_shards`` shards.
+
+    Sessions are enumerated in canonical order (roster order, then
+    session index) and dealt out one at a time, so shard loads stay
+    balanced even when tenants differ wildly in session count.
+    """
+    if n_shards < 1:
+        raise ValueError(f"need >= 1 shard, got {n_shards}")
+    roster: list[tuple[str, int]] = [
+        (tenant.name, index)
+        for tenant in tenants
+        for index in range(tenant.sessions)
+    ]
+    return tuple(
+        ShardPlan(
+            index=shard,
+            n_shards=n_shards,
+            build=build,
+            tenants=tuple(tenants),
+            assignments=tuple(roster[shard::n_shards]),
+        )
+        for shard in range(n_shards)
+    )
+
+
+def run_shard(plan: ShardPlan) -> ShardResult:
+    """Execute one shard's sessions as a single interleaved event loop.
+
+    Top-level (hence picklable) so a ``multiprocessing`` pool can map
+    over plans directly.
+    """
+    by_name = {tenant.name: tenant for tenant in plan.tenants}
+    order = {tenant.name: i for i, tenant in enumerate(plan.tenants)}
+    sessions: list[Session] = []
+    for tenant_name, session_index in plan.assignments:
+        if tenant_name not in by_name:
+            raise ValueError(
+                f"shard {plan.index} assigned unknown tenant {tenant_name!r}"
+            )
+        sessions.append(
+            Session(by_name[tenant_name], session_index, plan.build)
+        )
+
+    # The event loop: (next release, tie-break seq) -> session.  One job
+    # per pop keeps every session within one job of the shard's clock.
+    heap: list[tuple[float, int, int]] = []
+    for slot, session in enumerate(sessions):
+        arrival = session.next_arrival_s()
+        if arrival is not None:
+            heapq.heappush(heap, (arrival, slot, slot))
+    jobs_run = 0
+    while heap:
+        _, _, slot = heapq.heappop(heap)
+        session = sessions[slot]
+        if session.step():
+            jobs_run += 1
+        arrival = session.next_arrival_s()
+        if arrival is not None:
+            heapq.heappush(heap, (arrival, slot, slot))
+
+    results = sorted(
+        (session.result() for session in sessions),
+        key=lambda r: (order[r.tenant], r.index),
+    )
+    return ShardResult(
+        index=plan.index, sessions=tuple(results), jobs_run=jobs_run
+    )

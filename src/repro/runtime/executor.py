@@ -59,6 +59,13 @@ class TaskLoopRunner:
         telemetry: Run observability pipeline (spans, metrics, decision
             audit).  Defaults to the zero-cost no-op; telemetry never
             influences the simulation, only records it.
+        arrivals: Optional explicit release schedule, one non-decreasing
+            absolute time per job.  ``None`` keeps the classic periodic
+            release (``index * budget_s``); the fleet layer passes the
+            draws of an arrival process (Poisson, bursty, diurnal) here.
+            Deadlines stay ``arrival + budget_s`` either way, so a
+            burst that outruns the processor queues jobs and eats into
+            their budgets exactly like a congested interactive session.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class TaskLoopRunner:
         charge_switch: bool = True,
         provide_oracle_work: bool = False,
         telemetry: Telemetry | None = None,
+        arrivals: Sequence[float] | None = None,
     ):
         if not inputs:
             raise ValueError("need at least one job input")
@@ -88,8 +96,30 @@ class TaskLoopRunner:
         self.charge_switch = charge_switch
         self.provide_oracle_work = provide_oracle_work
         self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
+        self.arrivals = self._validated_arrivals(arrivals)
+        self._init_run_state()
+
+    def _validated_arrivals(
+        self, arrivals: Sequence[float] | None
+    ) -> list[float] | None:
+        if arrivals is None:
+            return None
+        schedule = [float(t) for t in arrivals]
+        if len(schedule) != len(self.inputs):
+            raise ValueError(
+                f"arrival schedule has {len(schedule)} entries for "
+                f"{len(self.inputs)} jobs"
+            )
+        if any(t < 0 for t in schedule):
+            raise ValueError("arrival times must be non-negative")
+        if any(b < a for a, b in zip(schedule, schedule[1:])):
+            raise ValueError("arrival times must be non-decreasing")
+        return schedule
+
+    def _init_run_state(self) -> None:
+        """(Re)initialize every piece of per-run mutable state."""
         # Timer state for utilization-sampled governors.
-        self._timer_period = governor.timer_period_s
+        self._timer_period = self.governor.timer_period_s
         self._next_timer = (
             self._timer_period if self._timer_period is not None else None
         )
@@ -102,11 +132,73 @@ class TaskLoopRunner:
         # Level to restore after an idling dip to fmin, when the governor
         # itself has no opinion at the next job start.
         self._restore_opp: OperatingPoint | None = None
+        self._started = False
+        self._next_index = 0
+        self._task_globals: dict | None = None
+        self._records: list[JobRecord] = []
 
     # -- public API -----------------------------------------------------------
-    def run(self) -> RunResult:
-        """Execute every job; return the aggregated result."""
-        period = self.task.budget_s
+    def reset(
+        self,
+        board: Board | None = None,
+        inputs: Sequence[Mapping[str, Value]] | None = None,
+        arrivals: Sequence[float] | None = None,
+        governor: Governor | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        """Return the runner to its pre-run state so it can run again.
+
+        Sessions in the fleet simulator reuse one runner object across
+        tenants; without this, switch counts, overlap energy, timer
+        phase, and job records would bleed from one run into the next.
+        The board and telemetry are stateful accumulators (time, energy,
+        metric counters), so a reset that should be indistinguishable
+        from a fresh runner must supply fresh instances of both; the
+        governor likewise if it learns online.  Passing ``None`` keeps
+        the current object.
+        """
+        if board is not None:
+            self.board = board
+        if inputs is not None:
+            if not inputs:
+                raise ValueError("need at least one job input")
+            self.inputs = list(inputs)
+        if governor is not None:
+            self.governor = governor
+        if telemetry is not None:
+            self.telemetry = telemetry
+        if arrivals is not None or inputs is not None:
+            self.arrivals = self._validated_arrivals(arrivals)
+        self._init_run_state()
+
+    def arrival_s(self, index: int) -> float:
+        """Release time of job ``index`` under the active schedule."""
+        if self.arrivals is not None:
+            return self.arrivals[index]
+        return index * self.task.budget_s
+
+    def next_arrival_s(self) -> float | None:
+        """Release time of the next pending job; None when all jobs ran.
+
+        Shard schedulers order interleaved sessions by this value.
+        """
+        if self._next_index >= len(self.inputs):
+            return None
+        return self.arrival_s(self._next_index)
+
+    @property
+    def jobs_remaining(self) -> int:
+        return len(self.inputs) - self._next_index
+
+    def start(self) -> None:
+        """One-time run setup: telemetry binding, governor start, state.
+
+        Idempotent between :meth:`reset` calls; :meth:`step` and
+        :meth:`run` call it automatically.
+        """
+        if self._started:
+            return
+        self._started = True
         telemetry = self.telemetry
         self.governor.bind_telemetry(telemetry)
         self.governor.start(self.board, self.task.budget_s)
@@ -121,25 +213,40 @@ class TaskLoopRunner:
                 "executor.jobs", "executor.misses", "executor.switches"
             ):
                 telemetry.metrics.counter(name)
-        task_globals = self.task.program.fresh_globals()
-        records: list[JobRecord] = []
+        self._task_globals = self.task.program.fresh_globals()
 
-        for index, job_inputs in enumerate(self.inputs):
-            arrival = index * period
-            wait_from = self.board.now
-            self._wait_for_arrival(arrival)
-            if telemetry.enabled and self.board.now > wait_from:
-                telemetry.span(
-                    "release.wait",
-                    wait_from,
-                    self.board.now,
-                    category="idle",
-                    args={"job": index},
-                )
-            records.append(
-                self._run_one_job(index, arrival, job_inputs, task_globals)
+    def step(self) -> JobRecord | None:
+        """Run the next pending job; None when the stream is exhausted.
+
+        The stepping half of the run loop: fleet shards interleave many
+        sessions by repeatedly stepping whichever session releases next.
+        """
+        self.start()
+        if self._next_index >= len(self.inputs):
+            return None
+        index = self._next_index
+        self._next_index += 1
+        arrival = self.arrival_s(index)
+        telemetry = self.telemetry
+        wait_from = self.board.now
+        self._wait_for_arrival(arrival)
+        if telemetry.enabled and self.board.now > wait_from:
+            telemetry.span(
+                "release.wait",
+                wait_from,
+                self.board.now,
+                category="idle",
+                args={"job": index},
             )
+        assert self._task_globals is not None
+        record = self._run_one_job(
+            index, arrival, self.inputs[index], self._task_globals
+        )
+        self._records.append(record)
+        return record
 
+    def result(self) -> RunResult:
+        """Aggregate the jobs run so far into a :class:`RunResult`."""
         energy_by_tag = {
             tag: self.board.energy_j(tag)
             for tag in ("job", "predictor", "switch", "idle")
@@ -149,11 +256,18 @@ class TaskLoopRunner:
             governor=self.governor.name,
             app=self.task.name,
             budget_s=self.task.budget_s,
-            jobs=records,
+            jobs=list(self._records),
             energy_j=self.board.energy_j() + self._overlap_energy_j,
             energy_by_tag=energy_by_tag,
             switch_count=self._switches,
         )
+
+    def run(self) -> RunResult:
+        """Execute every job; return the aggregated result."""
+        self.start()
+        while self.step() is not None:
+            pass
+        return self.result()
 
     # -- per-job orchestration -------------------------------------------------
     def _run_one_job(

@@ -78,7 +78,9 @@ from repro.telemetry.slo import (
     SloAlert,
     SloSpec,
     SloTracker,
+    SloTrackerState,
     default_slos,
+    merge_states,
 )
 from repro.telemetry.watch import (
     Watchdog,
@@ -136,6 +138,8 @@ __all__ = [
     "SloAlert",
     "SloSpec",
     "SloTracker",
+    "SloTrackerState",
+    "merge_states",
     "default_slos",
     "Watchdog",
     "WatchdogConfig",

@@ -410,6 +410,16 @@ GATE_DEFAULT_METRICS = (
     "executor.slack_s.p95",
     "executor.exec_time_s.p95",
     "executor.predictor_time_s.p95",
+    # Fleet roll-up summaries (``repro fleet run --trace``); absent from
+    # single-run traces, so they pin nothing there.
+    "fleet.sessions",
+    "fleet.jobs",
+    "fleet.misses",
+    "fleet.energy_j",
+    "fleet.budget_consumed",
+    "fleet.page_alerts",
+    "fleet.slack_p50_s",
+    "fleet.slack_p95_s",
 )
 
 #: Tolerance written into generated baselines (a run re-simulated from
@@ -475,6 +485,7 @@ def gate_directory(
     directory: pathlib.Path | str,
     baseline: dict,
     tolerance: float | None = None,
+    runs: str | None = None,
 ) -> GateResult:
     """Hold a trace directory to a committed metrics baseline.
 
@@ -487,6 +498,10 @@ def gate_directory(
         directory: Trace directory of the candidate run(s).
         baseline: Parsed baseline object (see :func:`make_baseline`).
         tolerance: Override for the baseline's recorded tolerance.
+        runs: Optional run-name prefix; only baseline runs whose name
+            starts with it are gated.  Lets one committed baseline
+            cover separate CI jobs (``"watch."`` vs ``"fleet."``)
+            without each job failing on the other's missing runs.
     """
     directory = pathlib.Path(directory)
     if "runs" not in baseline:
@@ -499,11 +514,23 @@ def gate_directory(
         if tolerance is not None
         else float(baseline.get("tolerance", _BASELINE_DEFAULT_TOLERANCE))
     )
+    gated_runs = dict(baseline["runs"])
+    if runs is not None:
+        gated_runs = {
+            name: pinned
+            for name, pinned in gated_runs.items()
+            if name.startswith(runs)
+        }
+        if not gated_runs:
+            raise ValueError(
+                f"no baseline run matches prefix {runs!r}; "
+                f"baseline has {sorted(baseline['runs'])}"
+            )
     observed_runs = _load_metrics(directory)
     failures: list[GateFailure] = []
     rows = []
     checked = 0
-    for run_name, pinned in sorted(baseline["runs"].items()):
+    for run_name, pinned in sorted(gated_runs.items()):
         if run_name not in observed_runs:
             failures.append(
                 GateFailure(

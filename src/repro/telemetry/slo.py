@@ -49,6 +49,8 @@ __all__ = [
     "SloAlert",
     "SloStatus",
     "SloTracker",
+    "SloTrackerState",
+    "merge_states",
     "default_slos",
     "specs_to_json",
     "specs_from_json",
@@ -270,6 +272,135 @@ class SloStatus:
     alerts: int
 
 
+@dataclass(frozen=True)
+class SloTrackerState:
+    """Serializable, mergeable snapshot of one tracker's accounting.
+
+    This is the transport format of the fleet roll-up: every shard (or
+    worker process) tracks its own streams, snapshots them, and the
+    coordinator folds the snapshots together with **concatenation
+    semantics** — ``merge_states(a, b)`` is exactly the state a single
+    tracker would hold after seeing ``a``'s stream followed by ``b``'s.
+    That identity is exact for the windowed burn rates and the error
+    budget, because each ring stores the last ``window`` classifications
+    of its stream and the last ``window`` of a concatenation is a suffix
+    of the concatenated rings.  Alert *histories* do not concatenate
+    (an alert is a path property of one stream), so merged states carry
+    the union of alerts fired on the constituent streams.
+
+    Attributes:
+        spec: The objective the streams were classified against.
+        jobs: Jobs classified (unobservable jobs excluded).
+        bad: Bad jobs.
+        rings: Per-window classification tails, oldest first; ring ``i``
+            holds at most ``spec.windows[i].jobs`` entries.
+        alerts: Alerts raised on the constituent stream(s).
+    """
+
+    spec: SloSpec
+    jobs: int
+    bad: int
+    rings: tuple[tuple[bool, ...], ...]
+    alerts: tuple[SloAlert, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.rings) != len(self.spec.windows):
+            raise ValueError(
+                f"state has {len(self.rings)} rings for "
+                f"{len(self.spec.windows)} windows"
+            )
+        for ring, window in zip(self.rings, self.spec.windows):
+            if len(ring) > window.jobs:
+                raise ValueError(
+                    f"ring of {len(ring)} entries exceeds its "
+                    f"{window.jobs}-job window"
+                )
+
+    @property
+    def budget_consumed(self) -> float:
+        """Bad jobs over the budget the objective grants the stream."""
+        if self.jobs == 0:
+            return 0.0
+        return self.bad / (self.spec.objective * self.jobs)
+
+    def burn_rates(self) -> dict[str, float]:
+        """Burn rate per window (0 until a window has data)."""
+        rates = {}
+        for window, ring in zip(self.spec.windows, self.rings):
+            key = f"w{window.jobs}"
+            if not ring:
+                rates[key] = 0.0
+            else:
+                rates[key] = (sum(ring) / len(ring)) / self.spec.objective
+        return rates
+
+    @property
+    def exceeding(self) -> bool:
+        """Whether every window currently exceeds its burn-rate trigger.
+
+        The static (order-free) half of the alert condition: a merged
+        fleet state "is alerting" when its combined tails burn every
+        window too fast, even though no single stream fired.
+        """
+        return all(
+            ring and (sum(ring) / len(ring)) / self.spec.objective
+            > window.max_burn_rate
+            for window, ring in zip(self.spec.windows, self.rings)
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "spec": self.spec.as_dict(),
+            "jobs": self.jobs,
+            "bad": self.bad,
+            "rings": [[bool(b) for b in ring] for ring in self.rings],
+            "alerts": [alert.as_dict() for alert in self.alerts],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SloTrackerState":
+        return cls(
+            spec=SloSpec.from_dict(data["spec"]),
+            jobs=int(data["jobs"]),
+            bad=int(data["bad"]),
+            rings=tuple(
+                tuple(bool(b) for b in ring) for ring in data["rings"]
+            ),
+            alerts=tuple(
+                SloAlert.from_dict(a) for a in data.get("alerts", [])
+            ),
+        )
+
+
+def merge_states(
+    first: SloTrackerState, second: SloTrackerState
+) -> SloTrackerState:
+    """Fold two tracker states with concatenation semantics.
+
+    The result equals the state of one tracker that observed ``first``'s
+    stream and then ``second``'s (exactly, for jobs/bad/rings — see
+    :class:`SloTrackerState`).  Both states must track the same spec.
+    """
+    if first.spec != second.spec:
+        raise ValueError(
+            f"cannot merge states of different specs "
+            f"({first.spec.name!r} vs {second.spec.name!r})"
+        )
+    rings = tuple(
+        tuple((ring_a + ring_b)[-window.jobs:])
+        for window, ring_a, ring_b in zip(
+            first.spec.windows, first.rings, second.rings
+        )
+    )
+    return SloTrackerState(
+        spec=first.spec,
+        jobs=first.jobs + second.jobs,
+        bad=first.bad + second.bad,
+        rings=rings,
+        alerts=first.alerts + second.alerts,
+    )
+
+
 class SloTracker:
     """Streams one spec's error-budget accounting and burn-rate alarms.
 
@@ -371,6 +502,38 @@ class SloTracker:
         )
         self.alerts.append(alert)
         return alert
+
+    def state(self) -> SloTrackerState:
+        """Snapshot this tracker's mergeable accounting state."""
+        return SloTrackerState(
+            spec=self.spec,
+            jobs=self.jobs,
+            bad=self.bad,
+            rings=tuple(tuple(ring) for ring in self._rings),
+            alerts=tuple(self.alerts),
+        )
+
+    @classmethod
+    def from_state(
+        cls, state: SloTrackerState, min_jobs: int | None = None
+    ) -> "SloTracker":
+        """A live tracker primed with a (possibly merged) state.
+
+        The resumed tracker continues the stream: counts, window tails,
+        and alert history carry over; the firing latch re-arms from the
+        restored windows, so a violation still in progress produces no
+        duplicate rising-edge alert.
+        """
+        tracker = cls(state.spec, min_jobs=min_jobs)
+        tracker.jobs = state.jobs
+        tracker.bad = state.bad
+        for i, ring in enumerate(state.rings):
+            for value in ring:
+                tracker._rings[i].append(bool(value))
+            tracker._bad_in_ring[i] = sum(ring)
+        tracker.alerts = list(state.alerts)
+        tracker._firing = state.exceeding and state.jobs >= tracker.min_jobs
+        return tracker
 
     def status(self) -> SloStatus:
         return SloStatus(

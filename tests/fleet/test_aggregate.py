@@ -1,0 +1,136 @@
+"""Aggregation: tenant merges, fleet budgets, top-K, metrics export."""
+
+import json
+
+import pytest
+
+from repro.fleet.aggregate import aggregate_fleet, fleet_metrics
+from repro.fleet.session import FleetBuild, run_session
+from repro.fleet.tenant import TenantSpec
+from repro.telemetry.report import metric_direction
+
+BUILD = FleetBuild(root_seed=7)
+
+TENANTS = (
+    TenantSpec(
+        name="tight", app="sha", governor="interactive",
+        sessions=3, jobs_per_session=8, budget_scale=0.05,
+        miss_objective=0.05,
+    ),
+    TenantSpec(
+        name="calm", app="sha", governor="interactive",
+        sessions=2, jobs_per_session=6,
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return [
+        run_session(tenant, index, BUILD)
+        for tenant in TENANTS
+        for index in range(tenant.sessions)
+    ]
+
+
+@pytest.fixture(scope="module")
+def report(results):
+    return aggregate_fleet(TENANTS, results, seed=7, top_k=2)
+
+
+class TestTenantRollup:
+    def test_sums_match_sessions(self, results, report):
+        tight = report.tenants[0]
+        mine = [r for r in results if r.tenant == "tight"]
+        assert tight.sessions == 3
+        assert tight.jobs == sum(r.jobs for r in mine)
+        assert tight.misses == sum(r.misses for r in mine)
+        assert tight.energy_j == pytest.approx(
+            sum(r.energy_j for r in mine)
+        )
+        assert tight.miss_rate == tight.misses / tight.jobs
+
+    def test_merged_budget_equals_arithmetic_identity(self, report):
+        for rollup in report.tenants:
+            deadline = next(
+                s for s in rollup.slo if s.spec_name == "deadline-miss-rate"
+            )
+            assert deadline.jobs == rollup.jobs
+            assert deadline.bad == rollup.misses
+            assert deadline.budget_consumed == pytest.approx(
+                rollup.misses / (rollup.objective * rollup.jobs)
+            )
+
+    def test_unmeetable_budget_blows_the_objective(self, report):
+        tight = report.tenants[0]
+        assert tight.miss_rate > 0.5
+        assert tight.worst_budget_consumed > 1.0
+
+
+class TestFleetTotals:
+    def test_fleet_budget_is_sum_of_allowances(self, report):
+        allowance = sum(
+            t.objective * t.jobs for t in report.tenants
+        )
+        bad = sum(t.misses for t in report.tenants)
+        assert report.budget_consumed == pytest.approx(bad / allowance)
+
+    def test_order_of_results_is_irrelevant(self, results):
+        forward = aggregate_fleet(TENANTS, results, seed=7)
+        backward = aggregate_fleet(TENANTS, list(reversed(results)), seed=7)
+        assert forward.to_json() == backward.to_json()
+
+    def test_unknown_tenant_rejected(self, results):
+        with pytest.raises(ValueError, match="unknown tenants"):
+            aggregate_fleet(TENANTS[:1], results, seed=7)
+
+    def test_top_k_ranks_worst_first(self, report):
+        assert report.top_k == ("tight", "calm")
+        assert len(report.top_k) <= 2
+
+
+class TestRenderers:
+    def test_text_report_has_all_sections(self, report):
+        text = report.render_text()
+        assert "fleet report (seed 7)" in text
+        assert "tight" in text and "calm" in text
+        assert "top-2 worst tenants" in text
+        assert "burn [" in text
+
+    def test_markdown_tables_parse(self, report):
+        md = report.render_markdown()
+        assert md.startswith("# Fleet report")
+        assert "| tenant |" in md
+        assert "## Top-2 worst tenants" in md
+
+    def test_json_round_trips_through_cli_loader(self, report):
+        from repro.fleet.cli import _report_from_dict
+
+        restored = _report_from_dict(json.loads(report.to_json()))
+        assert restored.render_text() == report.render_text()
+        assert restored.to_json() == report.to_json()
+
+
+class TestFleetMetrics:
+    def test_registry_shape(self, report):
+        metrics = fleet_metrics(report)
+        assert set(metrics) == {"counters", "gauges", "histograms"}
+        assert metrics["counters"]["fleet.jobs"] == report.jobs
+        assert metrics["counters"]["fleet.misses"] == report.misses
+        assert metrics["gauges"]["fleet.energy_j"] == report.energy_j
+
+    def test_gate_directions_are_intentional(self, report):
+        metrics = fleet_metrics(report)
+        directions = {
+            name: metric_direction(name)
+            for scope in ("counters", "gauges")
+            for name in metrics[scope]
+        }
+        assert directions["fleet.misses"] == "lower"
+        assert directions["fleet.miss_rate"] == "lower"
+        assert directions["fleet.energy_j"] == "lower"
+        assert directions["fleet.page_alerts"] == "lower"
+        assert directions["fleet.slack_p50_s"] == "higher"
+        assert directions["fleet.slack_p95_s"] == "higher"
+        assert directions["fleet.jobs"] is None  # neutral: drift-gated
+        assert directions["fleet.sessions"] is None

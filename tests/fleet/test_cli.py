@@ -1,0 +1,183 @@
+"""The fleet CLI end to end, including the report --gate integration."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fleet.tenant import TenantSpec, tenants_to_json
+
+FAST = [
+    "--sessions", "6", "--jobs", "5",
+    "--apps", "sha", "--governor", "interactive", "--seed", "7",
+]
+
+
+class TestFleetRun:
+    def test_run_prints_report(self, capsys):
+        assert main(["fleet", "run", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "fleet report (seed 7)" in out
+        assert "worst tenants" in out
+
+    def test_json_output(self, capsys):
+        assert main(["fleet", "run", *FAST, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sessions"] == 6
+        assert payload["jobs"] == 30
+
+    def test_markdown_output(self, capsys):
+        assert main(["fleet", "run", *FAST, "--markdown"]) == 0
+        assert capsys.readouterr().out.startswith("# Fleet report")
+
+    def test_shard_count_does_not_change_output(self, capsys):
+        main(["fleet", "run", *FAST, "--json", "--shards", "1"])
+        one = capsys.readouterr().out
+        main(["fleet", "run", *FAST, "--json", "--shards", "3"])
+        three = capsys.readouterr().out
+        assert one == three
+
+    def test_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "fleet.json"
+        spec.write_text(
+            tenants_to_json(
+                [
+                    TenantSpec(
+                        name="solo", app="sha", governor="interactive",
+                        sessions=2, jobs_per_session=4,
+                    )
+                ]
+            )
+        )
+        assert main(["fleet", "run", "--spec", str(spec), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tenants"][0]["name"] == "solo"
+        assert payload["jobs"] == 8
+
+    def test_output_file_excludes_invocation_metadata(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        main(
+            ["fleet", "run", *FAST, "--shards", "2", "--output", str(out)]
+        )
+        capsys.readouterr()
+        text = out.read_text()
+        assert "fleet report (seed 7)" in text
+        assert "shard" not in text  # partitioning is metadata, not report
+
+    def test_usage_errors(self, capsys):
+        assert main(["fleet", "bogus"]) == 2
+        assert main(["fleet", "run", "--apps", ""]) == 2
+        assert (
+            main(["fleet", "run", *FAST, "--drift-tenant", "ghost"]) == 2
+        )
+        assert (
+            main(["fleet", "run", *FAST, "--json", "--markdown"]) == 2
+        )
+
+
+class TestFleetTraceAndReport:
+    @pytest.fixture()
+    def trace_dir(self, tmp_path, capsys):
+        directory = tmp_path / "trace"
+        assert (
+            main(
+                ["fleet", "run", *FAST, "--name", "smoke",
+                 "--trace", str(directory)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return directory
+
+    def test_trace_writes_gateable_metrics(self, trace_dir):
+        metrics = json.loads(
+            (trace_dir / "fleet.smoke.metrics.json").read_text()
+        )
+        assert metrics["counters"]["fleet.sessions"] == 6
+        assert (trace_dir / "fleet_report.json").is_file()
+        assert (trace_dir / "fleet_report.md").is_file()
+
+    def test_fleet_report_rerenders_saved_run(self, trace_dir, capsys):
+        assert main(["fleet", "report", str(trace_dir)]) == 0
+        text = capsys.readouterr().out
+        assert "fleet report (seed 7)" in text
+        assert (
+            main(["fleet", "report", str(trace_dir), "--markdown"]) == 0
+        )
+        assert capsys.readouterr().out.startswith("# Fleet report")
+
+    def test_gate_flow_passes_against_own_baseline(
+        self, trace_dir, tmp_path, capsys
+    ):
+        from repro.telemetry.report import make_baseline
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(make_baseline(trace_dir)))
+        assert (
+            main(
+                ["report", str(trace_dir), "--gate", str(baseline),
+                 "--runs", "fleet."]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+    def test_gate_runs_prefix_skips_other_jobs_runs(
+        self, trace_dir, tmp_path, capsys
+    ):
+        """A baseline with watch.* runs must not fail the fleet job."""
+        from repro.telemetry.report import make_baseline
+
+        payload = make_baseline(trace_dir)
+        payload["runs"]["watch.sha.prediction"] = {"executor.jobs": 240.0}
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(payload))
+        # Unfiltered: the watch run is missing from the directory.
+        assert (
+            main(["report", str(trace_dir), "--gate", str(baseline)]) == 1
+        )
+        capsys.readouterr()
+        # Filtered to fleet runs: passes.
+        assert (
+            main(
+                ["report", str(trace_dir), "--gate", str(baseline),
+                 "--runs", "fleet."]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+    def test_gate_bad_prefix_is_a_usage_error(
+        self, trace_dir, tmp_path, capsys
+    ):
+        from repro.telemetry.report import make_baseline
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(make_baseline(trace_dir)))
+        assert (
+            main(
+                ["report", str(trace_dir), "--gate", str(baseline),
+                 "--runs", "nope."]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "no baseline run matches" in err
+
+    def test_regression_fails_the_gate(self, trace_dir, tmp_path, capsys):
+        from repro.telemetry.report import make_baseline
+
+        payload = make_baseline(trace_dir)
+        run = payload["runs"]["fleet.smoke"]
+        run["fleet.misses"] = 0.0
+        run["fleet.energy_j"] = run["fleet.energy_j"] / 10
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(payload))
+        assert (
+            main(
+                ["report", str(trace_dir), "--gate", str(baseline),
+                 "--runs", "fleet."]
+            )
+            == 1
+        )
+        capsys.readouterr()

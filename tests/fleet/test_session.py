@@ -1,0 +1,117 @@
+"""Sessions: determinism, SLO accounting consistency, drift injection."""
+
+from repro.fleet.arrivals import PoissonArrivals
+from repro.fleet.session import FleetBuild, Session, run_session
+from repro.fleet.tenant import TenantSpec
+
+BUILD = FleetBuild(root_seed=7)
+
+
+def _tenant(**overrides):
+    base = dict(
+        name="t",
+        app="sha",
+        governor="interactive",
+        jobs_per_session=8,
+    )
+    base.update(overrides)
+    return TenantSpec(**base)
+
+
+class TestDeterminism:
+    def test_same_path_same_result(self):
+        first = run_session(_tenant(), 3, BUILD)
+        second = run_session(_tenant(), 3, BUILD)
+        assert first == second
+
+    def test_session_index_changes_the_stream(self):
+        a = run_session(_tenant(arrival=PoissonArrivals()), 0, BUILD)
+        b = run_session(_tenant(arrival=PoissonArrivals()), 1, BUILD)
+        assert a.slacks_s != b.slacks_s
+
+    def test_root_seed_changes_the_stream(self):
+        a = run_session(_tenant(arrival=PoissonArrivals()), 0, BUILD)
+        b = run_session(
+            _tenant(arrival=PoissonArrivals()), 0, FleetBuild(root_seed=8)
+        )
+        assert a.slacks_s != b.slacks_s
+
+
+class TestAccounting:
+    def test_result_is_internally_consistent(self):
+        result = run_session(_tenant(jobs_per_session=12), 0, BUILD)
+        assert result.tenant == "t"
+        assert result.index == 0
+        assert result.jobs == 12
+        assert len(result.slacks_s) == 12
+        assert result.misses == sum(1 for s in result.slacks_s if s < 0)
+        assert result.energy_j > 0
+        assert result.makespan_s > 0
+
+    def test_slo_states_track_the_same_stream(self):
+        result = run_session(_tenant(jobs_per_session=12), 0, BUILD)
+        deadline_state = next(
+            s
+            for s in result.slo_states
+            if s.spec.signal == "deadline_miss"
+        )
+        assert deadline_state.jobs == result.jobs
+        assert deadline_state.bad == result.misses
+
+    def test_budget_scale_tightens_deadlines(self):
+        relaxed = run_session(_tenant(), 0, BUILD)
+        tight = run_session(_tenant(budget_scale=0.05), 0, BUILD)
+        assert tight.misses >= relaxed.misses
+        assert tight.misses > 0  # 5% of the budget is unmeetable
+
+    def test_stepwise_equals_run_session(self):
+        session = Session(_tenant(), 2, BUILD)
+        while session.step():
+            pass
+        assert session.result() == run_session(_tenant(), 2, BUILD)
+
+
+class TestDrift:
+    def test_drift_slows_the_tail(self):
+        calm = run_session(_tenant(jobs_per_session=16), 0, BUILD)
+        drifted = run_session(
+            _tenant(jobs_per_session=16, drift_factor=3.0, drift_at_frac=0.5),
+            0,
+            BUILD,
+        )
+        # Pre-drift jobs identical, post-drift jobs strictly slower.
+        half = 8
+        assert drifted.slacks_s[:half] == calm.slacks_s[:half]
+        assert all(
+            d < c
+            for d, c in zip(drifted.slacks_s[half:], calm.slacks_s[half:])
+        )
+
+    def test_unit_drift_factor_is_a_no_op(self):
+        calm = run_session(_tenant(), 0, BUILD)
+        unit = run_session(_tenant(drift_factor=1.0), 0, BUILD)
+        assert calm == unit
+
+
+class TestPredictionGovernor:
+    def test_prediction_sessions_observe_residuals(self):
+        result = run_session(
+            _tenant(app="rijndael", governor="prediction"), 0, BUILD
+        )
+        residual_state = next(
+            s
+            for s in result.slo_states
+            if s.spec.signal == "under_estimate"
+        )
+        # The predictive governor publishes a prediction per job, so
+        # every job is classifiable against the residual objective.
+        assert residual_state.jobs == result.jobs
+
+    def test_interactive_sessions_do_not(self):
+        result = run_session(_tenant(), 0, BUILD)
+        residual_state = next(
+            s
+            for s in result.slo_states
+            if s.spec.signal == "under_estimate"
+        )
+        assert residual_state.jobs == 0

@@ -1,0 +1,67 @@
+"""Tenant specs: validation and JSON round-trip."""
+
+import pytest
+
+from repro.fleet.arrivals import BurstyArrivals, PeriodicArrivals
+from repro.fleet.tenant import TenantSpec, tenants_from_json, tenants_to_json
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = TenantSpec(name="video", app="sha")
+        assert spec.governor == "prediction"
+        assert spec.arrival == PeriodicArrivals()
+
+    @pytest.mark.parametrize(
+        ("field", "value", "match"),
+        [
+            ("name", "", "non-empty name"),
+            ("sessions", 0, "session"),
+            ("jobs_per_session", 0, "job per session"),
+            ("budget_scale", 0.0, "budget_scale"),
+            ("miss_objective", 1.0, "miss_objective"),
+            ("jitter_sigma", -0.1, "jitter_sigma"),
+            ("drift_factor", -2.0, "drift_factor"),
+            ("drift_at_frac", 1.0, "drift_at_frac"),
+        ],
+    )
+    def test_rejects_bad_fields(self, field, value, match):
+        with pytest.raises(ValueError, match=match):
+            TenantSpec(**{"name": "t", "app": "sha", field: value})
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        spec = TenantSpec(
+            name="video",
+            app="rijndael",
+            governor="adaptive",
+            sessions=12,
+            jobs_per_session=33,
+            budget_scale=0.8,
+            arrival=BurstyArrivals(burst_factor=5.0),
+            miss_objective=0.05,
+            jitter_sigma=0.03,
+            drift_factor=1.4,
+            drift_at_frac=0.25,
+        )
+        assert TenantSpec.from_dict(spec.as_dict()) == spec
+
+    def test_roster_round_trip(self):
+        roster = (
+            TenantSpec(name="a", app="sha"),
+            TenantSpec(name="b", app="sha", drift_factor=2.0),
+        )
+        assert tenants_from_json(tenants_to_json(roster)) == roster
+
+    def test_duplicate_names_rejected(self):
+        roster = (
+            TenantSpec(name="a", app="sha"),
+            TenantSpec(name="a", app="rijndael"),
+        )
+        with pytest.raises(ValueError, match="unique"):
+            tenants_from_json(tenants_to_json(roster))
+
+    def test_empty_roster_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            tenants_from_json("[]")
