@@ -14,6 +14,7 @@ from repro.platform.opp import default_xu3_a7_table
 from repro.programs.instrument import Instrumenter
 from repro.programs.interpreter import Interpreter
 from repro.programs.slicer import Slicer
+from repro.telemetry.hostprof import best_of
 from repro.workloads.registry import get_app
 
 OPPS = default_xu3_a7_table()
@@ -116,17 +117,6 @@ def _smoke_run(telemetry=None, n_jobs=50):
     return runner.run()
 
 
-def _best_of(fn, rounds=5):
-    import time as _time
-
-    best = float("inf")
-    for _ in range(rounds):
-        start = _time.perf_counter()
-        fn()
-        best = min(best, _time.perf_counter() - start)
-    return best
-
-
 def test_perf_telemetry_noop_under_two_percent():
     """The disabled-telemetry machinery must cost <2% of a smoke run.
 
@@ -141,7 +131,7 @@ def test_perf_telemetry_noop_under_two_percent():
     from repro.telemetry import NO_TELEMETRY
 
     n_jobs = 50
-    t_run = _best_of(lambda: _smoke_run(telemetry=None, n_jobs=n_jobs))
+    t_run = best_of(lambda: _smoke_run(telemetry=None, n_jobs=n_jobs))
 
     checks_per_job = 16  # generous upper bound on guarded sites per job
     start = _time.perf_counter()
@@ -205,7 +195,7 @@ def test_perf_watchdog_attached_overhead_bounded():
     from repro.telemetry import Telemetry, Watchdog
 
     Watchdog()  # warm the one-time drift-detector import before timing
-    t_noop = _best_of(lambda: _smoke_run(telemetry=None))
+    t_noop = best_of(lambda: _smoke_run(telemetry=None))
     observed = []
 
     def run_watched():
@@ -215,11 +205,83 @@ def test_perf_watchdog_attached_overhead_bounded():
         _smoke_run(telemetry=telemetry)
         observed.append(watchdog.jobs)
 
-    t_watched = _best_of(run_watched)
+    t_watched = best_of(run_watched)
     assert observed[0] == 50, "watchdog must classify every job"
     assert t_watched < 2.0 * max(t_noop, 1e-4), (
         f"attached watchdog {t_watched * 1e3:.1f} ms vs "
         f"no-op {t_noop * 1e3:.1f} ms"
+    )
+
+
+def test_perf_hostprof_disabled_is_provably_noop():
+    """With profiling off, the host profiler must not exist on the hot path.
+
+    The executor instruments phases behind ``if hostprof.enabled:``
+    guards and defaults to the shared :data:`NO_HOSTPROF` singleton, so
+    an unprofiled run performs zero allocations attributable to
+    ``repro.telemetry.hostprof`` — the same tracemalloc proof the
+    watchdog and attribution guards use.
+    """
+    import tracemalloc
+
+    from repro.telemetry.hostprof import NO_HOSTPROF
+
+    assert NO_HOSTPROF.enabled is False
+    hostprof_file = __import__(
+        "repro.telemetry.hostprof", fromlist=["__file__"]
+    ).__file__
+    _smoke_run(telemetry=None, n_jobs=5)  # warm caches before tracing
+    tracemalloc.start()
+    try:
+        _smoke_run(telemetry=None, n_jobs=20)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    hostprof_allocs = snapshot.filter_traces(
+        [tracemalloc.Filter(True, hostprof_file)]
+    )
+    assert not hostprof_allocs.statistics("lineno"), (
+        "an unprofiled run allocated inside repro.telemetry.hostprof: "
+        f"{hostprof_allocs.statistics('lineno')[:3]}"
+    )
+
+
+def test_perf_hostprof_timers_overhead_bounded():
+    """Phase timers (sampler off) must stay within 2x of the bare run.
+
+    The per-job cost is a handful of ``perf_counter`` reads and dict
+    updates; doubling the run means an instrumentation site grew into
+    the hot loop.  The statistical sampler is deliberately excluded —
+    it is opt-in and priced separately by ``repro profile``.
+    """
+    from repro.governors.interactive import InteractiveGovernor
+    from repro.runtime import TaskLoopRunner
+    from repro.telemetry.hostprof import HostProfiler
+
+    app = get_app("sha")
+
+    def run_profiled():
+        board = Board(opps=OPPS)
+        hostprof = HostProfiler()
+        runner = TaskLoopRunner(
+            board,
+            app.task,
+            InteractiveGovernor(OPPS),
+            app.inputs(50, seed=0),
+            hostprof=hostprof,
+        )
+        with hostprof.running():
+            runner.run()
+        return hostprof
+
+    t_bare = best_of(lambda: _smoke_run(telemetry=None))
+    t_profiled = best_of(run_profiled)
+    state = run_profiled().state()
+    assert state.jobs == 50, "profiled run must count every job"
+    assert "interp" in state.phases
+    assert t_profiled < 2.0 * max(t_bare, 1e-4), (
+        f"host-profiled run {t_profiled * 1e3:.1f} ms vs "
+        f"bare {t_bare * 1e3:.1f} ms"
     )
 
 
@@ -304,7 +366,7 @@ def test_perf_attribution_overhead_bounded(monkeypatch):
         result = _predictive_run(telemetry=telemetry)
         audited.append((result.n_jobs, telemetry.decisions))
 
-    t_full = _best_of(run_audited)
+    t_full = best_of(run_audited)
     n_jobs, decisions = audited[0]
     assert len(decisions) == n_jobs
     assert all(
@@ -317,7 +379,7 @@ def test_perf_attribution_overhead_bounded(monkeypatch):
     monkeypatch.setattr(
         predictive_mod, "build_provenance", lambda **kwargs: (None, (), -1)
     )
-    t_stubbed = _best_of(lambda: _predictive_run(telemetry=Telemetry()))
+    t_stubbed = best_of(lambda: _predictive_run(telemetry=Telemetry()))
 
     assert t_full < 2.0 * max(t_stubbed, 1e-4), (
         f"attribution capture {t_full * 1e3:.1f} ms vs audited run "
@@ -357,10 +419,10 @@ def test_perf_fleet_overhead_per_job_bounded():
     run_shard(plan)  # warm app/program caches outside the timed region
 
     fleet_jobs = n_sessions * jobs_per_session
-    t_fleet = _best_of(lambda: run_shard(plan), rounds=2)
+    t_fleet = best_of(lambda: run_shard(plan), rounds=2)
 
     single_jobs = 200
-    t_single = _best_of(
+    t_single = best_of(
         lambda: _smoke_run(telemetry=None, n_jobs=single_jobs), rounds=3
     )
 
@@ -381,7 +443,7 @@ def test_perf_telemetry_enabled_overhead_bounded():
     """
     from repro.telemetry import Telemetry
 
-    t_noop = _best_of(lambda: _smoke_run(telemetry=None))
+    t_noop = best_of(lambda: _smoke_run(telemetry=None))
     recorded = []
 
     def run_enabled():
@@ -389,7 +451,7 @@ def test_perf_telemetry_enabled_overhead_bounded():
         _smoke_run(telemetry=telemetry)
         recorded.append(len(telemetry.events))
 
-    t_enabled = _best_of(run_enabled)
+    t_enabled = best_of(run_enabled)
     assert recorded[0] > 0, "enabled run must actually record events"
     assert t_enabled < 2.0 * max(t_noop, 1e-4), (
         f"enabled telemetry {t_enabled * 1e3:.1f} ms vs "

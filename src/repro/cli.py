@@ -26,6 +26,9 @@ Usage::
                                          # the trace (exit 1 on mismatch)
     python -m repro diff-decisions DIR_A DIR_B
                                          # ranked decision divergences
+    python -m repro profile rijndael     # host-side profile of the
+                                         # simulator itself: phase table,
+                                         # flamegraph, hotspots
 """
 
 from __future__ import annotations
@@ -88,6 +91,9 @@ def _list_experiments() -> str:
                  "bit-exact (repro replay --help)")
     lines.append("  diff-decisions  classify decision divergences between "
                  "two traces (repro diff-decisions --help)")
+    lines.append("  profile  host-side performance profile of the simulator "
+                 "itself: phase timings, flamegraph, hotspot table "
+                 "(repro profile --help)")
     return "\n".join(lines)
 
 
@@ -107,6 +113,8 @@ def main(argv: list[str] | None = None) -> int:
         return _replay_command(raw[1:])
     if raw and raw[0] == "diff-decisions":
         return _diff_decisions_command(raw[1:])
+    if raw and raw[0] == "profile":
+        return _profile_command(raw[1:])
     if raw and raw[0] == "fleet":
         from repro.fleet.cli import fleet_command
 
@@ -267,9 +275,17 @@ def _report_command(argv: list[str]) -> int:
         "--runs",
         default=None,
         metavar="PREFIX",
-        help="with --gate: only hold baseline runs whose name starts "
-        "with PREFIX (e.g. 'watch.' or 'fleet.'), so one committed "
-        "baseline can serve several CI jobs",
+        help="only consider runs whose name starts with PREFIX (e.g. "
+        "'watch.', 'fleet.', or 'host.') — applies to summaries, "
+        "two-directory diffs, and --gate alike, so one trace directory "
+        "or committed baseline can serve several CI jobs",
+    )
+    parser.add_argument(
+        "--openmetrics",
+        default=None,
+        metavar="FILE",
+        help="also export the trace directory's metrics (after --runs "
+        "filtering) as OpenMetrics/Prometheus text to FILE",
     )
     parser.add_argument(
         "--output",
@@ -296,7 +312,10 @@ def _report_command(argv: list[str]) -> int:
         if len(args.paths) == 2:
             tolerance = args.tolerance if args.tolerance is not None else 0.05
             diff = compare_directories(
-                args.paths[0], args.paths[1], tolerance=tolerance
+                args.paths[0],
+                args.paths[1],
+                tolerance=tolerance,
+                runs=args.runs,
             )
             text = diff.text
             if diff.regressions:
@@ -325,7 +344,21 @@ def _report_command(argv: list[str]) -> int:
                     f" metric(s) over {len(baseline['runs'])} run(s) -> {out}"
                 )
             else:
-                text = summarize_directory(path)
+                text = summarize_directory(path, runs=args.runs)
+        if args.openmetrics is not None:
+            if len(args.paths) != 1 or pathlib.Path(args.paths[0]).is_file():
+                print(
+                    "--openmetrics takes exactly one trace directory",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.telemetry.openmetrics import openmetrics_directory
+
+            out = pathlib.Path(args.openmetrics)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(
+                openmetrics_directory(args.paths[0], runs=args.runs)
+            )
     except (FileNotFoundError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -849,6 +882,170 @@ def _diff_decisions_command(argv: list[str]) -> int:
         out = pathlib.Path(args.output)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(text + "\n")
+    return 0
+
+
+def _profile_command(argv: list[str]) -> int:
+    """``repro profile APP`` — profile the *simulator's* host performance.
+
+    Runs one workload under a governor with telemetry off (so the
+    numbers describe the hot path a production run pays) and the host
+    profiler on: phase-scoped wall-time accounting plus a statistical
+    stack sampler.  Writes ``host.<app>.<governor>.{hostprof.json,
+    flame.txt,hotspots.json,metrics.json}`` into ``--out`` — the
+    metrics file feeds ``repro report --gate BENCH_host_baseline.json
+    --runs host.``.  Exit codes: 0 ok, 2 bad input.
+    """
+    import zlib
+
+    from repro.pipeline.config import PipelineConfig
+    from repro.platform.board import Board
+    from repro.platform.jitter import LogNormalJitter, NoJitter
+    from repro.platform.switching import SwitchLatencyModel
+    from repro.runtime.executor import TaskLoopRunner
+    from repro.telemetry.hostprof import (
+        HostProfiler,
+        StackSampler,
+        hotspots,
+        render_hotspots,
+        render_profile,
+        write_host_profile,
+    )
+    from repro.workloads.registry import app_names
+
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description=(
+            "Host-side performance profile of the simulator itself: "
+            "phase-scoped wall-time accounting (interpreter, governor "
+            "decision, switch, bookkeeping), host jobs/sec, a collapsed-"
+            "stack flamegraph, and a top-N hotspot table attributed to "
+            "components and IR ops.  This measures the *host* cost of "
+            "simulating — the instrument behind the ROADMAP hot-path "
+            "speedup work — not the simulated platform."
+        ),
+    )
+    parser.add_argument("app", help="workload to profile (see repro list)")
+    parser.add_argument(
+        "--governor",
+        default="prediction",
+        help="governor name (default: prediction)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=400, help="jobs in the profiled run"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="base evaluation seed"
+    )
+    parser.add_argument(
+        "--jitter", type=float, default=0.02, help="timing-noise sigma"
+    )
+    parser.add_argument(
+        "--profile-jobs",
+        type=int,
+        default=60,
+        help="jobs profiled per app when training the controller "
+        "(smaller = faster setup; does not affect the measured run)",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=int,
+        default=64,
+        metavar="N",
+        help="stack-sample every Nth Python call (0 disables the "
+        "sampler; phase timers still run)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=20, help="hotspot table length"
+    )
+    parser.add_argument(
+        "--out",
+        default="profile-out",
+        metavar="DIR",
+        help="artifact directory (default: profile-out)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the profile as strict JSON instead of text",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as error:
+        return int(error.code or 0)
+
+    if args.app not in app_names():
+        print(f"unknown workload: {args.app}", file=sys.stderr)
+        return 2
+    if args.jobs < 1 or args.sample_interval < 0:
+        print("--jobs must be >= 1 and --sample-interval >= 0",
+              file=sys.stderr)
+        return 2
+
+    lab = Lab(
+        jitter_sigma=args.jitter,
+        seed=args.seed,
+        pipeline_config=PipelineConfig(n_profile_jobs=args.profile_jobs),
+    )
+    app = lab.app(args.app)
+    governor = lab.make_governor(args.governor, args.app)
+    inputs = app.inputs(args.jobs, seed=lab.seed + 11)
+
+    # Same deterministic seeding scheme as `repro watch`, so the
+    # *simulated* run underneath the profile reproduces exactly; only
+    # the host timings vary run to run.
+    run_seed = zlib.crc32(
+        f"{lab.seed}|profile|{args.app}|{args.governor}".encode()
+    )
+    board = Board(
+        opps=lab.opps,
+        power=lab.power,
+        switcher=SwitchLatencyModel(lab.opps, seed=run_seed),
+    )
+    board.cpu.jitter = (
+        LogNormalJitter(lab.jitter_sigma, seed=run_seed)
+        if lab.jitter_sigma > 0
+        else NoJitter()
+    )
+
+    sampler = (
+        StackSampler(interval=args.sample_interval)
+        if args.sample_interval > 0
+        else None
+    )
+    hostprof = HostProfiler(sampler=sampler)
+    runner = TaskLoopRunner(
+        board=board,
+        task=app.task,
+        governor=governor,
+        inputs=inputs,
+        interpreter=lab.interpreter,
+        hostprof=hostprof,
+    )
+    with hostprof.running():
+        result = runner.run()
+    state = hostprof.state()
+
+    run_name = f"host.{args.app}.{args.governor}"
+    written = write_host_profile(
+        state, args.out, run_name, top_n=args.top
+    )
+    if args.json:
+        hotspots_path = next(
+            p for p in written if p.name.endswith(".hotspots.json")
+        )
+        print(hotspots_path.read_text(), end="")
+    else:
+        print(render_profile(state, title=run_name))
+        print()
+        print(render_hotspots(hotspots(state, top_n=args.top)))
+        print(
+            f"\nsimulated run underneath: {result.n_jobs} jobs, "
+            f"{result.n_missed} missed, {result.energy_j:.3f} J"
+        )
+    print(
+        f"[profile: {len(written)} file(s) -> {args.out}]", file=sys.stderr
+    )
     return 0
 
 

@@ -170,6 +170,12 @@ def _run_command(argv: list[str]) -> int:
         "--fail-on-page", action="store_true",
         help="exit 1 when any page-severity alert fired",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="host-profile every shard and merge into one fleet profile "
+        "(host.fleet.<name>.* artifacts under --trace; never touches "
+        "the deterministic report)",
+    )
     try:
         args = parser.parse_args(argv)
     except SystemExit as error:
@@ -195,7 +201,7 @@ def _run_command(argv: list[str]) -> int:
         return 2
 
     started = time.time()
-    outcome = run_fleet(spec, workers=args.workers)
+    outcome = run_fleet(spec, workers=args.workers, profile=args.profile)
     elapsed = time.time() - started
     report = outcome.report
 
@@ -219,8 +225,29 @@ def _run_command(argv: list[str]) -> int:
         out = pathlib.Path(args.output)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(text + "\n")
+    if outcome.host_profile is not None:
+        # Host profile to stderr with the other invocation metadata:
+        # wall-clock observations never touch the deterministic report.
+        from repro.telemetry.hostprof import render_profile
+
+        print(
+            render_profile(
+                outcome.host_profile,
+                title=f"fleet host profile ({spec.shards} shard(s))",
+            ),
+            file=sys.stderr,
+        )
     if args.trace is not None:
         written = write_fleet_trace(report, args.trace, name=args.name)
+        if outcome.host_profile is not None:
+            from repro.telemetry.hostprof import write_host_profile
+
+            # host.fleet.<name> keeps the host artifacts clear of the
+            # deterministic fleet.<name>.metrics.json gate input while
+            # still landing under the `host.` run prefix.
+            written += write_host_profile(
+                outcome.host_profile, args.trace, f"host.fleet.{args.name}"
+            )
         print(
             f"[trace: {len(written)} file(s) -> {args.trace}]",
             file=sys.stderr,

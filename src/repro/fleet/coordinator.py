@@ -26,6 +26,7 @@ from repro.fleet.aggregate import FleetReport, aggregate_fleet
 from repro.fleet.session import FleetBuild, lab_for
 from repro.fleet.shard import ShardResult, plan_shards, run_shard
 from repro.fleet.tenant import TenantSpec
+from repro.telemetry.hostprof import ProfileState, merge_profiles
 
 __all__ = ["FleetSpec", "FleetOutcome", "run_fleet"]
 
@@ -80,11 +81,15 @@ class FleetOutcome:
 
     The report is the deterministic part; ``shard_results`` carry the
     partition-dependent extras (per-shard job counts) callers may want
-    for diagnostics without contaminating the report.
+    for diagnostics without contaminating the report.  The merged host
+    profile is likewise diagnostics-only: wall-clock data lives here
+    and in separate artifacts, never inside the report, so the
+    byte-identical-report contract holds with profiling on or off.
     """
 
     report: FleetReport
     shard_results: tuple[ShardResult, ...] = field(repr=False)
+    host_profile: ProfileState | None = None
 
     @property
     def sessions(self) -> int:
@@ -101,7 +106,9 @@ def _prewarm(spec: FleetSpec) -> None:
         lab.make_governor(tenant.governor, tenant.app)
 
 
-def run_fleet(spec: FleetSpec, workers: int = 1) -> FleetOutcome:
+def run_fleet(
+    spec: FleetSpec, workers: int = 1, profile: bool = False
+) -> FleetOutcome:
     """Simulate a fleet; results are independent of ``workers``.
 
     Args:
@@ -109,10 +116,16 @@ def run_fleet(spec: FleetSpec, workers: int = 1) -> FleetOutcome:
         workers: Process count.  1 runs shards in-process; more uses a
             ``multiprocessing`` pool over shard plans (capped at the
             shard count — a shard is the unit of dispatch).
+        profile: Host-profile every shard and merge the snapshots into
+            one fleet-level :class:`ProfileState`
+            (:attr:`FleetOutcome.host_profile`).  Observational only:
+            the report stays byte-identical to an unprofiled run.
     """
     if workers < 1:
         raise ValueError(f"need >= 1 worker, got {workers}")
-    plans = plan_shards(spec.tenants, spec.shards, spec.build)
+    plans = plan_shards(
+        spec.tenants, spec.shards, spec.build, profile=profile
+    )
     _prewarm(spec)
     workers = min(workers, len(plans))
     if workers == 1:
@@ -126,4 +139,16 @@ def run_fleet(spec: FleetSpec, workers: int = 1) -> FleetOutcome:
     report = aggregate_fleet(
         spec.tenants, results, seed=spec.seed, top_k=spec.top_k
     )
-    return FleetOutcome(report=report, shard_results=shard_results)
+    host_profile = None
+    if profile:
+        host_profile = ProfileState()
+        for shard in shard_results:
+            if shard.host_profile is not None:
+                host_profile = merge_profiles(
+                    host_profile, shard.host_profile
+                )
+    return FleetOutcome(
+        report=report,
+        shard_results=shard_results,
+        host_profile=host_profile,
+    )

@@ -31,6 +31,7 @@ from repro.platform.jitter import LogNormalJitter, NoJitter
 from repro.platform.switching import SwitchLatencyModel
 from repro.runtime.executor import TaskLoopRunner
 from repro.telemetry import NO_TELEMETRY
+from repro.telemetry.hostprof import HostProfiler
 from repro.telemetry.slo import (
     JobObservation,
     SloTracker,
@@ -108,9 +109,25 @@ class SessionResult:
 
 
 class Session:
-    """A live session: steps its runner, classifies each job."""
+    """A live session: steps its runner, classifies each job.
 
-    def __init__(self, tenant: TenantSpec, index: int, build: FleetBuild):
+    Args:
+        tenant: Owning tenant's spec.
+        index: Session index within the tenant (the seed path).
+        build: Shared build configuration.
+        hostprof: Optional host profiler handed down to the runner
+            (``fleet run --profile``).  Purely observational: it
+            touches no seed path, so profiled and unprofiled fleets
+            produce byte-identical reports.
+    """
+
+    def __init__(
+        self,
+        tenant: TenantSpec,
+        index: int,
+        build: FleetBuild,
+        hostprof: HostProfiler | None = None,
+    ):
         self.tenant = tenant
         self.index = index
         lab = lab_for(build)
@@ -157,6 +174,7 @@ class Session:
             arrivals=arrivals,
             interpreter=lab.interpreter,
             telemetry=NO_TELEMETRY,
+            hostprof=hostprof,
         )
         self.trackers = tuple(
             SloTracker(spec)

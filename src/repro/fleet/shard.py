@@ -24,6 +24,11 @@ from dataclasses import dataclass
 
 from repro.fleet.session import FleetBuild, Session, SessionResult
 from repro.fleet.tenant import TenantSpec
+from repro.telemetry.hostprof import (
+    HostProfiler,
+    ProfileState,
+    StackSampler,
+)
 
 __all__ = ["ShardPlan", "ShardResult", "plan_shards", "run_shard"]
 
@@ -41,6 +46,11 @@ class ShardPlan:
             of them keeps the plan self-contained).
         assignments: ``(tenant name, session index)`` pairs this shard
             runs.
+        profile: Host-profile this shard's execution (phase timers +
+            stack sampler).  Observational only — it never enters a
+            seed path, so the session results are identical either
+            way; the profile comes back in
+            :attr:`ShardResult.host_profile`.
     """
 
     index: int
@@ -48,6 +58,7 @@ class ShardPlan:
     build: FleetBuild
     tenants: tuple[TenantSpec, ...]
     assignments: tuple[tuple[str, int], ...]
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.index < self.n_shards:
@@ -65,17 +76,22 @@ class ShardResult:
         sessions: Results sorted by (tenant order in the roster,
             session index) — the order the coordinator merges in.
         jobs_run: Total jobs the shard's event loop executed.
+        host_profile: This shard's host profile when the plan asked
+            for one (picklable, so it survives the worker-pool trip
+            back; the coordinator merges shards' profiles).
     """
 
     index: int
     sessions: tuple[SessionResult, ...]
     jobs_run: int
+    host_profile: ProfileState | None = None
 
 
 def plan_shards(
     tenants: tuple[TenantSpec, ...],
     n_shards: int,
     build: FleetBuild,
+    profile: bool = False,
 ) -> tuple[ShardPlan, ...]:
     """Split a fleet round-robin across ``n_shards`` shards.
 
@@ -97,6 +113,7 @@ def plan_shards(
             build=build,
             tenants=tuple(tenants),
             assignments=tuple(roster[shard::n_shards]),
+            profile=profile,
         )
         for shard in range(n_shards)
     )
@@ -106,41 +123,70 @@ def run_shard(plan: ShardPlan) -> ShardResult:
     """Execute one shard's sessions as a single interleaved event loop.
 
     Top-level (hence picklable) so a ``multiprocessing`` pool can map
-    over plans directly.
+    over plans directly.  With ``plan.profile`` set, the whole shard
+    runs under a :class:`HostProfiler` (session construction charged to
+    the ``fleet`` phase, per-job phases charged inside the runners) and
+    the snapshot rides back on the result.
     """
+    hostprof = (
+        HostProfiler(sampler=StackSampler()) if plan.profile else None
+    )
     by_name = {tenant.name: tenant for tenant in plan.tenants}
     order = {tenant.name: i for i, tenant in enumerate(plan.tenants)}
-    sessions: list[Session] = []
-    for tenant_name, session_index in plan.assignments:
-        if tenant_name not in by_name:
-            raise ValueError(
-                f"shard {plan.index} assigned unknown tenant {tenant_name!r}"
-            )
-        sessions.append(
-            Session(by_name[tenant_name], session_index, plan.build)
-        )
 
-    # The event loop: (next release, tie-break seq) -> session.  One job
-    # per pop keeps every session within one job of the shard's clock.
-    heap: list[tuple[float, int, int]] = []
-    for slot, session in enumerate(sessions):
-        arrival = session.next_arrival_s()
-        if arrival is not None:
-            heapq.heappush(heap, (arrival, slot, slot))
-    jobs_run = 0
-    while heap:
-        _, _, slot = heapq.heappop(heap)
-        session = sessions[slot]
-        if session.step():
-            jobs_run += 1
-        arrival = session.next_arrival_s()
-        if arrival is not None:
-            heapq.heappush(heap, (arrival, slot, slot))
+    def execute() -> tuple[list[Session], int]:
+        sessions: list[Session] = []
+        if hostprof is not None:
+            build_from = hostprof.clock()
+        for tenant_name, session_index in plan.assignments:
+            if tenant_name not in by_name:
+                raise ValueError(
+                    f"shard {plan.index} assigned unknown tenant "
+                    f"{tenant_name!r}"
+                )
+            sessions.append(
+                Session(
+                    by_name[tenant_name],
+                    session_index,
+                    plan.build,
+                    hostprof=hostprof,
+                )
+            )
+        if hostprof is not None:
+            hostprof.add("fleet", hostprof.clock() - build_from)
+
+        # The event loop: (next release, tie-break seq) -> session.  One
+        # job per pop keeps every session within one job of the shard's
+        # clock.
+        heap: list[tuple[float, int, int]] = []
+        for slot, session in enumerate(sessions):
+            arrival = session.next_arrival_s()
+            if arrival is not None:
+                heapq.heappush(heap, (arrival, slot, slot))
+        jobs_run = 0
+        while heap:
+            _, _, slot = heapq.heappop(heap)
+            session = sessions[slot]
+            if session.step():
+                jobs_run += 1
+            arrival = session.next_arrival_s()
+            if arrival is not None:
+                heapq.heappush(heap, (arrival, slot, slot))
+        return sessions, jobs_run
+
+    if hostprof is not None:
+        with hostprof.running():
+            sessions, jobs_run = execute()
+    else:
+        sessions, jobs_run = execute()
 
     results = sorted(
         (session.result() for session in sessions),
         key=lambda r: (order[r.tenant], r.index),
     )
     return ShardResult(
-        index=plan.index, sessions=tuple(results), jobs_run=jobs_run
+        index=plan.index,
+        sessions=tuple(results),
+        jobs_run=jobs_run,
+        host_profile=hostprof.state() if hostprof is not None else None,
     )

@@ -224,6 +224,14 @@ class AdaptiveGovernor(Governor):
         self.inner.bind_telemetry(telemetry)
         self.fallback.bind_telemetry(telemetry)
 
+    def bind_hostprof(self, hostprof) -> None:
+        """Forward the host profiler so the inner predictive governor's
+        sub-phase timers (features/predict/ladder) still fire when it is
+        driven through the adaptive wrapper."""
+        super().bind_hostprof(hostprof)
+        self.inner.bind_hostprof(hostprof)
+        self.fallback.bind_hostprof(hostprof)
+
     def decide(self, ctx: JobContext) -> Decision | None:
         """Run the slice (always — shadow predictions feed recalibration),
         then decide via prediction or the fallback policy."""

@@ -26,10 +26,12 @@ from repro.platform.cpu import Work
 from repro.platform.opp import OperatingPoint
 from repro.programs.expr import Value
 from repro.telemetry import NO_TELEMETRY, DecisionRecord
+from repro.telemetry.hostprof import NO_HOSTPROF
 
 if TYPE_CHECKING:  # avoid a circular import with the runtime package
     from repro.runtime.records import JobRecord
     from repro.telemetry import Telemetry
+    from repro.telemetry.hostprof import HostProfiler
 
 __all__ = ["JobContext", "Decision", "Governor"]
 
@@ -86,6 +88,12 @@ class Governor(ABC):
     #: writes vanish at zero cost (guard hot paths with ``.enabled``).
     telemetry: "Telemetry" = NO_TELEMETRY
 
+    #: Host-side profiler the executor binds before a run.  Same
+    #: contract as :attr:`telemetry`: the disabled default costs one
+    #: attribute read, so sub-phase timers (prediction slice, predict,
+    #: OPP ladder) always guard with ``if self.hostprof.enabled:``.
+    hostprof: "HostProfiler" = NO_HOSTPROF
+
     @property
     @abstractmethod
     def name(self) -> str:
@@ -102,6 +110,15 @@ class Governor(ABC):
         override it and forward the binding to their delegates.
         """
         self.telemetry = telemetry
+
+    def bind_hostprof(self, hostprof: "HostProfiler") -> None:
+        """Attach a run's host profiler (optional observability hook).
+
+        Same forwarding rule as :meth:`bind_telemetry`: composing
+        governors override this and pass the profiler on to their
+        delegates so sub-phase timers inside the delegate still fire.
+        """
+        self.hostprof = hostprof
 
     def audit_decision(
         self,

@@ -115,12 +115,21 @@ class PredictiveGovernor(Governor):
         slice's cost lands — sequential, pipelined, or parallel placement
         (paper §4.3, Fig. 14).
         """
+        hp = self.hostprof
+        if hp.enabled:
+            t0 = hp.clock()
         slice_result = self.interpreter.execute_isolated(
             self.slice.program, ctx.inputs, ctx.task_globals
         )
+        if hp.enabled:
+            hp.add("features", hp.clock() - t0)
+            t0 = hp.clock()
+        prediction = self.predictor.predict(slice_result.features)
+        if hp.enabled:
+            hp.add("predict", hp.clock() - t0)
         return SliceOutcome(
             slice_work=slice_result.work,
-            prediction=self.predictor.predict(slice_result.features),
+            prediction=prediction,
             features=dict(slice_result.features.counters),
             raw=slice_result.features,
         )
@@ -140,6 +149,9 @@ class PredictiveGovernor(Governor):
         self, outcome: SliceOutcome, effective_budget_s: float
     ) -> Decision:
         """Lowest discrete frequency whose predicted time fits the budget."""
+        hp = self.hostprof
+        if hp.enabled:
+            t0 = hp.clock()
         prediction = outcome.prediction
         opp = self.dvfs.choose_opp(
             prediction.t_fmin_s, prediction.t_fmax_s, effective_budget_s
@@ -147,7 +159,10 @@ class PredictiveGovernor(Governor):
         components = self.dvfs.components(
             prediction.t_fmin_s, prediction.t_fmax_s
         )
-        return Decision(opp, predicted_time_s=components.time_at(opp.freq_hz))
+        decision = Decision(opp, predicted_time_s=components.time_at(opp.freq_hz))
+        if hp.enabled:
+            hp.add("ladder", hp.clock() - t0)
+        return decision
 
     def margin_value(self) -> float:
         """The current safety margin (adaptive predictors expose an

@@ -34,6 +34,7 @@ from repro.runtime.placement import PredictorPlacement
 from repro.runtime.records import JobRecord, RunResult
 from repro.runtime.task import Task
 from repro.telemetry import NO_TELEMETRY, DecisionRecord, Telemetry
+from repro.telemetry.hostprof import NO_HOSTPROF, HostProfiler
 
 __all__ = ["TaskLoopRunner"]
 
@@ -59,6 +60,12 @@ class TaskLoopRunner:
         telemetry: Run observability pipeline (spans, metrics, decision
             audit).  Defaults to the zero-cost no-op; telemetry never
             influences the simulation, only records it.
+        hostprof: Host-side profiler charging *wall-clock* phases
+            (interpreter eval, governor decision, switch, record
+            bookkeeping) — observes the simulator itself, not the
+            simulated platform.  Defaults to the zero-cost no-op;
+            every site guards on ``hostprof.enabled`` so a disabled
+            run pays one attribute read and allocates nothing.
         arrivals: Optional explicit release schedule, one non-decreasing
             absolute time per job.  ``None`` keeps the classic periodic
             release (``index * budget_s``); the fleet layer passes the
@@ -82,6 +89,7 @@ class TaskLoopRunner:
         provide_oracle_work: bool = False,
         telemetry: Telemetry | None = None,
         arrivals: Sequence[float] | None = None,
+        hostprof: HostProfiler | None = None,
     ):
         if not inputs:
             raise ValueError("need at least one job input")
@@ -96,6 +104,7 @@ class TaskLoopRunner:
         self.charge_switch = charge_switch
         self.provide_oracle_work = provide_oracle_work
         self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
+        self.hostprof = hostprof if hostprof is not None else NO_HOSTPROF
         self.arrivals = self._validated_arrivals(arrivals)
         self._init_run_state()
 
@@ -145,6 +154,7 @@ class TaskLoopRunner:
         arrivals: Sequence[float] | None = None,
         governor: Governor | None = None,
         telemetry: Telemetry | None = None,
+        hostprof: HostProfiler | None = None,
     ) -> None:
         """Return the runner to its pre-run state so it can run again.
 
@@ -167,6 +177,8 @@ class TaskLoopRunner:
             self.governor = governor
         if telemetry is not None:
             self.telemetry = telemetry
+        if hostprof is not None:
+            self.hostprof = hostprof
         if arrivals is not None or inputs is not None:
             self.arrivals = self._validated_arrivals(arrivals)
         self._init_run_state()
@@ -201,6 +213,7 @@ class TaskLoopRunner:
         self._started = True
         telemetry = self.telemetry
         self.governor.bind_telemetry(telemetry)
+        self.governor.bind_hostprof(self.hostprof)
         self.governor.start(self.board, self.task.budget_s)
         if telemetry.enabled:
             telemetry.counter(
@@ -243,6 +256,8 @@ class TaskLoopRunner:
             index, arrival, self.inputs[index], self._task_globals
         )
         self._records.append(record)
+        if self.hostprof.enabled:
+            self.hostprof.job_done()
         return record
 
     def result(self) -> RunResult:
@@ -280,12 +295,17 @@ class TaskLoopRunner:
         board = self.board
         deadline = arrival + self.task.budget_s
         start = board.now
+        hp = self.hostprof
 
         oracle_work = None
         if self.provide_oracle_work:
+            if hp.enabled:
+                t0 = hp.clock()
             oracle_work = self.interpreter.execute_isolated(
                 self.task.program, job_inputs, task_globals
             ).work
+            if hp.enabled:
+                hp.add("interp", hp.clock() - t0)
 
         ctx = JobContext(
             index=index,
@@ -302,16 +322,24 @@ class TaskLoopRunner:
         # The governor decision happens first (its slice must see pre-job
         # state), so compute the work on an isolated fork here and commit
         # the state change after the decision.
+        if hp.enabled:
+            t0 = hp.clock()
         work = self.interpreter.execute_isolated(
             self.task.program, job_inputs, task_globals
         ).work
+        if hp.enabled:
+            hp.add("interp", hp.clock() - t0)
         jitter = board.cpu.jitter.sample()
 
         telemetry = self.telemetry
         decide_from = board.now
+        if hp.enabled:
+            t0 = hp.clock()
         predictor_time, decision, partial_exec, remaining = self._decide(
             ctx, work, jitter
         )
+        if hp.enabled:
+            hp.add("governor", hp.clock() - t0)
         if telemetry.enabled:
             span_args: dict = {"job": index}
             if decision is not None:
@@ -399,7 +427,12 @@ class TaskLoopRunner:
             )
 
         # Commit the job's state change to the live globals.
+        if hp.enabled:
+            t0 = hp.clock()
         self.interpreter.execute(self.task.program, job_inputs, task_globals)
+        if hp.enabled:
+            hp.add("interp", hp.clock() - t0)
+            t0 = hp.clock()
 
         record = JobRecord(
             index=index,
@@ -458,6 +491,8 @@ class TaskLoopRunner:
                     args={"job": index, "late_s": -record.slack_s},
                 )
             self._observe_job(record)
+        if hp.enabled:
+            hp.add("record", hp.clock() - t0)
         return record
 
     def _observe_job(self, record: JobRecord) -> None:
@@ -541,6 +576,9 @@ class TaskLoopRunner:
         """Perform a DVFS switch, charged or free per configuration."""
         if target.index == self.board.current_opp.index:
             return 0.0
+        hp = self.hostprof
+        if hp.enabled:
+            t0 = hp.clock()
         self._switches += 1
         if self.charge_switch:
             latency = self.board.set_frequency(target)
@@ -551,6 +589,8 @@ class TaskLoopRunner:
         if telemetry.enabled:
             telemetry.counter("freq_mhz", self.board.now, target.freq_mhz)
             telemetry.metrics.counter("executor.switches").inc()
+        if hp.enabled:
+            hp.add("switch", hp.clock() - t0)
         return latency
 
     def _wait_for_arrival(self, arrival: float) -> None:

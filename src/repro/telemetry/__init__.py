@@ -40,6 +40,23 @@ from repro.telemetry.exporters import (
     events_jsonl,
     write_run,
 )
+from repro.telemetry.hostprof import (
+    NO_HOSTPROF,
+    HostProfiler,
+    Hotspot,
+    NullHostProfiler,
+    ProfileState,
+    StackSampler,
+    best_of,
+    flamegraph_text,
+    host_metrics,
+    hotspots,
+    merge_profiles,
+    register_host_metrics,
+    render_hotspots,
+    render_profile,
+    write_host_profile,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -47,6 +64,10 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     geometric_buckets,
     percentile,
+)
+from repro.telemetry.openmetrics import (
+    openmetrics_directory,
+    openmetrics_text,
 )
 from repro.telemetry.provenance import (
     DecisionDiff,
@@ -125,6 +146,23 @@ __all__ = [
     "MetricsRegistry",
     "geometric_buckets",
     "percentile",
+    "HostProfiler",
+    "NullHostProfiler",
+    "NO_HOSTPROF",
+    "ProfileState",
+    "StackSampler",
+    "Hotspot",
+    "merge_profiles",
+    "hotspots",
+    "render_hotspots",
+    "flamegraph_text",
+    "host_metrics",
+    "register_host_metrics",
+    "render_profile",
+    "write_host_profile",
+    "best_of",
+    "openmetrics_text",
+    "openmetrics_directory",
     "render_report",
     "summarize_directory",
     "diff_directories",

@@ -8,12 +8,13 @@ plus ``M``-phase metadata naming the process and the logical tracks.
 
 :class:`TraceSession` is the disk-facing driver used by ``--trace DIR``:
 it hands out one named :class:`~repro.telemetry.events.Telemetry` per
-run and, on :meth:`~TraceSession.flush`, writes four artifacts per run::
+run and, on :meth:`~TraceSession.flush`, writes six artifacts per run::
 
     <name>.trace.json      Chrome trace (open in ui.perfetto.dev)
     <name>.events.jsonl    raw event stream, one JSON object per line
     <name>.decisions.jsonl governor decision audit log
     <name>.metrics.json    metrics registry dump (report/diff input)
+    <name>.metrics.prom    OpenMetrics text exposition (scrape input)
     <name>.report.txt      plain-text summary
 """
 
@@ -24,6 +25,7 @@ import pathlib
 from typing import Iterable
 
 from repro.telemetry.events import Telemetry, TraceEvent
+from repro.telemetry.openmetrics import openmetrics_text
 
 __all__ = [
     "chrome_trace",
@@ -141,6 +143,10 @@ def write_run(
     emit("events.jsonl", telemetry.events_jsonl())
     emit("decisions.jsonl", decisions_jsonl(telemetry))
     emit("metrics.json", json.dumps(telemetry.metrics.as_dict(), indent=2))
+    emit(
+        "metrics.prom",
+        openmetrics_text(telemetry.metrics, labels={"run": name}),
+    )
     emit("report.txt", telemetry.report() + "\n")
     return written
 

@@ -1,0 +1,245 @@
+"""OpenMetrics/Prometheus text exposition for metric registries.
+
+Turns a :class:`~repro.telemetry.metrics.MetricsRegistry` (or its
+``as_dict()`` dump, so already-written ``*.metrics.json`` artifacts
+export without re-simulating) into the text format Prometheus and any
+OpenMetrics scraper ingest.  The registry's dotted-and-bracketed names
+(``executor.residency_s[600]``) map onto the format's two namespaces:
+dots become underscores in the *family* name and the bracketed part
+becomes a ``label`` label, so per-OPP residency lands as one family
+with one timeseries per frequency — the shape PromQL expects.
+
+Format choices worth knowing:
+
+* Counters get the mandatory ``_total`` sample suffix.
+* Unset gauges (NaN, or None in a dump) keep their metadata lines but
+  emit no sample — absent beats ``NaN`` for every scraper.
+* Histograms export as OpenMetrics *summaries* (p50/p95/p99 quantile
+  samples plus ``_sum``/``_count``): the registry's fixed-bucket
+  histogram keeps interpolated percentiles, not cumulative bucket
+  counts, and a summary is the honest encoding of that.
+* Output always ends with the ``# EOF`` terminator OpenMetrics
+  requires.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+
+__all__ = [
+    "openmetrics_text",
+    "openmetrics_directory",
+]
+
+_NAME_OK_FIRST = set("abcdefghijklmnopqrstuvwxyz"
+                     "ABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_OK_REST = _NAME_OK_FIRST | set("0123456789")
+
+
+def _family(name: str, namespace: str) -> tuple[str, str | None]:
+    """Split a registry name into (sanitized family, bracket label)."""
+    label = None
+    if name.endswith("]") and "[" in name:
+        name, _, bracket = name.partition("[")
+        label = bracket[:-1]
+    if namespace:
+        name = f"{namespace}.{name}"
+    chars = [
+        c if c in _NAME_OK_REST else "_" for c in name
+    ]
+    if chars and chars[0] not in _NAME_OK_FIRST:
+        chars.insert(0, "_")
+    return "".join(chars) or "_", label
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _num(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _FamilyTable:
+    """Families accumulated across one or more registries/runs.
+
+    Keyed by family name so multiple runs (distinguished by a ``run``
+    label) merge into a single ``# TYPE`` block per family, which the
+    exposition format requires.
+    """
+
+    def __init__(self) -> None:
+        # family -> (type, help, [(suffix, labels, value), ...])
+        self._families: dict[str, tuple[str, str, list]] = {}
+
+    def add(
+        self,
+        family: str,
+        kind: str,
+        help_text: str,
+        samples: list[tuple[str, dict[str, str], float | None]],
+    ) -> None:
+        entry = self._families.get(family)
+        if entry is None:
+            entry = self._families[family] = (kind, help_text, [])
+        elif entry[0] != kind:
+            raise ValueError(
+                f"metric family {family!r} registered as both "
+                f"{entry[0]} and {kind}"
+            )
+        entry[2].extend(samples)
+
+    def render(self) -> str:
+        lines = []
+        for family in sorted(self._families):
+            kind, help_text, samples = self._families[family]
+            lines.append(f"# HELP {family} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {family} {kind}")
+            for suffix, labels, value in samples:
+                if value is None:
+                    continue
+                lines.append(
+                    f"{family}{suffix}{_labels_text(labels)} {_num(value)}"
+                )
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+
+def _as_dump(metrics) -> dict:
+    """Accept a registry, a telemetry object, or an ``as_dict`` dump."""
+    if hasattr(metrics, "as_dict"):
+        return metrics.as_dict()
+    if hasattr(metrics, "metrics"):  # a Telemetry
+        return metrics.metrics.as_dict()
+    return metrics
+
+
+def _ingest(
+    table: _FamilyTable,
+    dump: dict,
+    namespace: str,
+    base_labels: dict[str, str],
+) -> None:
+    for name, value in dump.get("counters", {}).items():
+        family, bracket = _family(name, namespace)
+        labels = dict(base_labels)
+        if bracket is not None:
+            labels["label"] = bracket
+        table.add(
+            family,
+            "counter",
+            f"repro counter {name}",
+            [("_total", labels, float(value))],
+        )
+    for name, value in dump.get("gauges", {}).items():
+        family, bracket = _family(name, namespace)
+        labels = dict(base_labels)
+        if bracket is not None:
+            labels["label"] = bracket
+        sample = None
+        if value is not None and not math.isnan(float(value)):
+            sample = float(value)
+        table.add(
+            family,
+            "gauge",
+            f"repro gauge {name}",
+            [("", labels, sample)],
+        )
+    for name, hist in dump.get("histograms", {}).items():
+        family, bracket = _family(name, namespace)
+        labels = dict(base_labels)
+        if bracket is not None:
+            labels["label"] = bracket
+        samples: list[tuple[str, dict[str, str], float | None]] = []
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95"),
+                              ("0.99", "p99")):
+            value = hist.get(key)
+            samples.append(
+                ("", {**labels, "quantile": quantile},
+                 None if value is None else float(value))
+            )
+        samples.append(("_sum", labels, float(hist.get("sum", 0.0))))
+        samples.append(("_count", labels, float(hist.get("count", 0))))
+        table.add(
+            family,
+            "summary",
+            f"repro histogram {name} (interpolated quantiles)",
+            samples,
+        )
+
+
+def openmetrics_text(
+    metrics,
+    namespace: str = "repro",
+    labels: dict[str, str] | None = None,
+) -> str:
+    """One registry's metrics in OpenMetrics text exposition format.
+
+    Args:
+        metrics: A :class:`~repro.telemetry.metrics.MetricsRegistry`, a
+            :class:`~repro.telemetry.events.Telemetry` (its registry is
+            used), or a registry ``as_dict()`` dump.
+        namespace: Prefix for every family name (``repro_...``); pass
+            ``""`` for none.
+        labels: Labels stamped on every sample (e.g. ``{"run": name}``).
+
+    Returns:
+        The exposition text, ``# EOF``-terminated; an empty registry
+        yields just the terminator.
+    """
+    table = _FamilyTable()
+    _ingest(table, _as_dump(metrics), namespace, dict(labels or {}))
+    return table.render()
+
+
+def openmetrics_directory(
+    directory: pathlib.Path | str,
+    namespace: str = "repro",
+    runs: str | None = None,
+) -> str:
+    """Every run in a trace directory as one OpenMetrics exposition.
+
+    Loads the same ``*.metrics.json`` artifacts the ``report``
+    subcommand reads and merges them into single families with a
+    ``run`` label per timeseries — the file a Prometheus file-based
+    collector (node-exporter textfile, grafana-agent) can scrape as-is.
+
+    Args:
+        directory: Trace directory holding ``<run>.metrics.json`` files.
+        namespace: Family-name prefix (see :func:`openmetrics_text`).
+        runs: Optional run-name prefix filter, same contract as
+            ``report --runs``.
+    """
+    from repro.telemetry.report import _load_metrics
+
+    directory = pathlib.Path(directory)
+    table = _FamilyTable()
+    for run_name, dump in _load_metrics(directory).items():
+        if runs is not None and not run_name.startswith(runs):
+            continue
+        _ingest(table, dump, namespace, {"run": run_name})
+    return table.render()

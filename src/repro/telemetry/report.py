@@ -148,30 +148,60 @@ def render_report(telemetry) -> str:
 
 
 # -- directory summaries (the `report` subcommand) ----------------------------
-def _load_metrics(directory: pathlib.Path) -> dict[str, dict]:
-    """All ``<run>.metrics.json`` files in a trace directory, by run."""
-    runs = {}
+def _load_metrics(
+    directory: pathlib.Path, runs: str | None = None
+) -> dict[str, dict]:
+    """All ``<run>.metrics.json`` files in a trace directory, by run.
+
+    Args:
+        directory: Trace directory to scan.
+        runs: Optional run-name prefix filter (same contract as the
+            CLI's ``--runs``): only matching runs load, and it is an
+            error for nothing to match — a silent empty slice would
+            make a gate or diff vacuously pass.
+    """
+    loaded = {}
     for path in sorted(directory.glob("*.metrics.json")):
-        runs[path.name[: -len(".metrics.json")]] = json.loads(
+        loaded[path.name[: -len(".metrics.json")]] = json.loads(
             path.read_text()
         )
-    if not runs:
+    if not loaded:
         raise FileNotFoundError(
             f"no *.metrics.json files under {directory} — "
             "was it produced by --trace?"
         )
-    return runs
+    if runs is not None:
+        filtered = {
+            name: payload
+            for name, payload in loaded.items()
+            if name.startswith(runs)
+        }
+        if not filtered:
+            raise FileNotFoundError(
+                f"no run under {directory} matches prefix {runs!r}; "
+                f"directory has {sorted(loaded)}"
+            )
+        return filtered
+    return loaded
 
 
-def summarize_directory(directory: pathlib.Path | str) -> str:
+def summarize_directory(
+    directory: pathlib.Path | str, runs: str | None = None
+) -> str:
     """Summary table over every run recorded in a trace directory.
 
     Degrades gracefully on partial traces: a run without an audit log,
     or with records from another schema version, gets a warning line in
     the decision-provenance section instead of an exception.
+
+    Args:
+        directory: Trace directory holding ``<run>.metrics.json`` files.
+        runs: Optional run-name prefix; only matching runs summarize
+            (so ``host.`` / ``fleet.`` / ``watch.`` slices can be
+            inspected separately).
     """
     directory = pathlib.Path(directory)
-    runs = _load_metrics(directory)
+    runs = _load_metrics(directory, runs=runs)
     rows = []
     for name, metrics in runs.items():
         counters = metrics["counters"]
@@ -236,7 +266,7 @@ def _flatten(metrics: dict) -> dict[str, float]:
 # -- regression semantics ------------------------------------------------------
 #: Substrings that classify a metric's better-direction.  Checked in
 #: order: higher-is-better wins (slack percentiles contain "_s" too).
-_HIGHER_IS_BETTER = ("slack",)
+_HIGHER_IS_BETTER = ("slack", "jobs_per_sec", "throughput")
 _LOWER_IS_BETTER = (
     "miss",
     "alarm",
@@ -248,6 +278,8 @@ _LOWER_IS_BETTER = (
     "retarget",
     "bound_exceeded",
     "external_arms",
+    "us_per_job",
+    "wall_s",
 )
 
 
@@ -317,6 +349,7 @@ def compare_directories(
     a: pathlib.Path | str,
     b: pathlib.Path | str,
     tolerance: float = 0.05,
+    runs: str | None = None,
 ) -> DirectoryDiff:
     """Metric-by-metric comparison of two trace directories.
 
@@ -325,9 +358,12 @@ def compare_directories(
         b: Candidate trace directory.
         tolerance: Relative movement allowed before a directional metric
             counts as a regression.
+        runs: Optional run-name prefix; only matching runs on each side
+            are compared.
     """
     a, b = pathlib.Path(a), pathlib.Path(b)
-    runs_a, runs_b = _load_metrics(a), _load_metrics(b)
+    runs_a = _load_metrics(a, runs=runs)
+    runs_b = _load_metrics(b, runs=runs)
     shared = sorted(set(runs_a) & set(runs_b))
     if not shared:
         return DirectoryDiff(
@@ -390,10 +426,12 @@ def compare_directories(
 
 
 def diff_directories(
-    a: pathlib.Path | str, b: pathlib.Path | str
+    a: pathlib.Path | str,
+    b: pathlib.Path | str,
+    runs: str | None = None,
 ) -> str:
     """Metric-by-metric diff of two trace directories, as text."""
-    return compare_directories(a, b).text
+    return compare_directories(a, b, runs=runs).text
 
 
 # -- the CI metrics regression gate --------------------------------------------
@@ -420,6 +458,11 @@ GATE_DEFAULT_METRICS = (
     "fleet.page_alerts",
     "fleet.slack_p50_s",
     "fleet.slack_p95_s",
+    # Host-side throughput (``repro profile --trace``); wall-clock, so
+    # baselines for these carry a much wider tolerance than simulated
+    # metrics (see BENCH_host_baseline.json).
+    "host.jobs_per_sec",
+    "host.us_per_job.total",
 )
 
 #: Tolerance written into generated baselines (a run re-simulated from

@@ -337,3 +337,128 @@ class TestCliGate:
     def test_identical_diff_exits_zero(self, traced, capsys):
         assert main(["report", str(traced), str(traced)]) == 0
         capsys.readouterr()
+
+class TestCliProfile:
+    """``repro profile``: host profiler over one single-app run."""
+
+    @pytest.fixture(scope="class")
+    def profiled(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("prof")
+        code = main(
+            [
+                "profile", "rijndael", "--jobs", "30",
+                "--profile-jobs", "20", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        return out
+
+    def test_writes_four_artifacts(self, profiled):
+        names = sorted(p.name for p in profiled.iterdir())
+        assert names == [
+            "host.rijndael.prediction.flame.txt",
+            "host.rijndael.prediction.hostprof.json",
+            "host.rijndael.prediction.hotspots.json",
+            "host.rijndael.prediction.metrics.json",
+        ]
+
+    def test_hotspots_attribute_components(self, profiled):
+        payload = json.loads(
+            (profiled / "host.rijndael.prediction.hotspots.json").read_text()
+        )
+        assert payload["jobs"] == 30
+        assert payload["jobs_per_sec"] > 0
+        assert "interp" in payload["phases"]
+        assert "governor" in payload["phases"]
+        components = {h["component"] for h in payload["hotspots"]}
+        assert "interp" in components
+
+    def test_flamegraph_is_collapsed_stack_text(self, profiled):
+        text = (profiled / "host.rijndael.prediction.flame.txt").read_text()
+        line = text.splitlines()[0]
+        stack, _, count = line.rpartition(" ")
+        assert ";" in stack
+        assert int(count) >= 1
+
+    def test_metrics_feed_the_host_gate(self, profiled, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        assert main(
+            [
+                "report", str(profiled),
+                "--make-baseline", str(baseline),
+                "--tolerance", "0.6",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "report", str(profiled), "--gate", str(baseline),
+                "--runs", "host.",
+            ]
+        ) == 0
+        assert "gate PASSED" in capsys.readouterr().out
+
+    def test_json_mode_prints_hotspots(self, tmp_path, capsys):
+        out = tmp_path / "prof"
+        code = main(
+            [
+                "profile", "rijndael", "--jobs", "20",
+                "--profile-jobs", "20", "--sample-interval", "0",
+                "--out", str(out), "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["run"] == "host.rijndael.prediction"
+        assert payload["jobs"] == 20
+        assert payload["hotspots"] == []  # sampler disabled
+
+    def test_unknown_app_rejected(self, capsys):
+        assert main(["profile", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestCliReportRunsFilter:
+    @pytest.fixture(scope="class")
+    def traced(self, tmp_path_factory):
+        trace_dir = tmp_path_factory.mktemp("runs") / "traces"
+        main(
+            [
+                "drift", "--app", "sha", "--jobs", "40",
+                "--trace", str(trace_dir),
+            ]
+        )
+        return trace_dir
+
+    def test_summary_respects_runs(self, traced, capsys):
+        capsys.readouterr()
+        assert main(
+            ["report", str(traced), "--runs", "drift.sha.adaptive"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "drift.sha.adaptive" in out
+        assert "drift.sha.performance" not in out
+
+    def test_unmatched_prefix_is_usage_error(self, traced, capsys):
+        assert main(["report", str(traced), "--runs", "host."]) == 2
+        assert "no run" in capsys.readouterr().err
+
+    def test_openmetrics_export(self, traced, tmp_path, capsys):
+        target = tmp_path / "metrics.prom"
+        assert main(
+            ["report", str(traced), "--openmetrics", str(target)]
+        ) == 0
+        capsys.readouterr()
+        text = target.read_text()
+        assert text.endswith("# EOF\n")
+        assert 'run="drift.sha.prediction"' in text
+        assert "repro_executor_jobs_total" in text
+
+    def test_openmetrics_needs_one_directory(self, traced, capsys):
+        assert main(
+            [
+                "report", str(traced), str(traced),
+                "--openmetrics", "x.prom",
+            ]
+        ) == 2
+        assert "one trace directory" in capsys.readouterr().err

@@ -64,6 +64,35 @@ class TestFleetRun:
         assert "fleet report (seed 7)" in text
         assert "shard" not in text  # partitioning is metadata, not report
 
+    def test_profile_leaves_stdout_identical(self, tmp_path, capsys):
+        main(["fleet", "run", *FAST, "--json"])
+        plain = capsys.readouterr().out
+        trace_dir = tmp_path / "prof"
+        assert main(
+            [
+                "fleet", "run", *FAST, "--json", "--shards", "2",
+                "--profile", "--trace", str(trace_dir),
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        # The deterministic report is untouched; the profile summary
+        # rides on stderr only.
+        assert captured.out == plain
+        assert "fleet host profile" in captured.err
+        host_files = sorted(
+            p.name for p in trace_dir.glob("host.fleet.*")
+        )
+        assert host_files == [
+            "host.fleet.run.flame.txt",
+            "host.fleet.run.hostprof.json",
+            "host.fleet.run.hotspots.json",
+            "host.fleet.run.metrics.json",
+        ]
+        hot = json.loads(
+            (trace_dir / "host.fleet.run.hotspots.json").read_text()
+        )
+        assert hot["jobs"] == 30
+
     def test_usage_errors(self, capsys):
         assert main(["fleet", "bogus"]) == 2
         assert main(["fleet", "run", "--apps", ""]) == 2

@@ -73,6 +73,45 @@ class TestOutcome:
         assert outcome.sessions == 13
 
 
+class TestHostProfile:
+    """--profile is observational: merged roll-up, untouched report."""
+
+    def test_profile_never_changes_the_report(self):
+        plain = run_fleet(_spec(shards=1)).report.to_json()
+        profiled = run_fleet(_spec(shards=3), profile=True)
+        assert profiled.report.to_json() == plain
+
+    def test_profile_survives_worker_pool(self):
+        outcome = run_fleet(_spec(shards=4), workers=2, profile=True)
+        assert outcome.report.to_json() == run_fleet(
+            _spec(shards=1)
+        ).report.to_json()
+        assert outcome.host_profile is not None
+        assert outcome.host_profile.jobs == outcome.report.jobs
+
+    def test_merged_profile_covers_every_shard(self):
+        outcome = run_fleet(_spec(shards=3), profile=True)
+        profile = outcome.host_profile
+        assert profile.jobs == outcome.report.jobs
+        assert profile.wall_s > 0
+        # Every shard contributed: wall time sums across shards, and
+        # the per-shard snapshots ride on the results.
+        per_shard = [s.host_profile for s in outcome.shard_results]
+        assert all(p is not None for p in per_shard)
+        assert profile.wall_s == pytest.approx(
+            sum(p.wall_s for p in per_shard)
+        )
+        assert "interp" in profile.phases
+        assert "fleet" in profile.phases
+
+    def test_unprofiled_outcome_has_no_profile(self):
+        outcome = run_fleet(_spec(shards=2))
+        assert outcome.host_profile is None
+        assert all(
+            s.host_profile is None for s in outcome.shard_results
+        )
+
+
 class TestValidation:
     def test_empty_roster_rejected(self):
         with pytest.raises(ValueError, match="at least one tenant"):

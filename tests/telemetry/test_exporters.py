@@ -106,6 +106,7 @@ class TestTraceSession:
             "demo.events.jsonl",
             "demo.decisions.jsonl",
             "demo.metrics.json",
+            "demo.metrics.prom",
             "demo.report.txt",
         }
         for path in written:
@@ -131,6 +132,7 @@ class TestNullTelemetryExports:
             "off.events.jsonl",
             "off.decisions.jsonl",
             "off.metrics.json",
+            "off.metrics.prom",
             "off.report.txt",
         }
         trace = json.loads((tmp_path / "off.trace.json").read_text())

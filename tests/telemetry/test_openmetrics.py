@@ -1,0 +1,187 @@
+"""Tests for the OpenMetrics exporter: names, escaping, edge cases."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.openmetrics import (
+    openmetrics_directory,
+    openmetrics_text,
+)
+
+
+def parse_exposition(text):
+    """Tiny OpenMetrics reader: returns ({family: type}, {sample: value}).
+
+    Sample keys keep their label block verbatim, so round-trip tests can
+    assert on exact series identity.
+    """
+    types = {}
+    samples = {}
+    lines = text.splitlines()
+    assert lines[-1] == "# EOF"
+    for line in lines[:-1]:
+        if line.startswith("# TYPE "):
+            _, _, family, kind = line.split(" ", 3)
+            types[family] = kind
+        elif line.startswith("#"):
+            continue
+        else:
+            name, _, value = line.rpartition(" ")
+            samples[name] = float(value)
+    return types, samples
+
+
+class TestFormatBasics:
+    def test_counter_gets_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("executor.jobs").inc(3)
+        types, samples = parse_exposition(openmetrics_text(registry))
+        assert types["repro_executor_jobs"] == "counter"
+        assert samples["repro_executor_jobs_total"] == 3
+
+    def test_gauge_value_and_namespace_off(self):
+        registry = MetricsRegistry()
+        registry.gauge("governor.miss_rate").set(0.125)
+        types, samples = parse_exposition(
+            openmetrics_text(registry, namespace="")
+        )
+        assert types["governor_miss_rate"] == "gauge"
+        assert samples["governor_miss_rate"] == pytest.approx(0.125)
+
+    def test_bracketed_name_becomes_label(self):
+        registry = MetricsRegistry()
+        registry.gauge("executor.residency_s[600]").set(1.5)
+        registry.gauge("executor.residency_s[800]").set(2.5)
+        text = openmetrics_text(registry)
+        types, samples = parse_exposition(text)
+        # One family, two labelled timeseries.
+        assert types["repro_executor_residency_s"] == "gauge"
+        assert samples['repro_executor_residency_s{label="600"}'] == 1.5
+        assert samples['repro_executor_residency_s{label="800"}'] == 2.5
+        assert text.count("# TYPE repro_executor_residency_s ") == 1
+
+    def test_histogram_exports_as_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("executor.slack_s")
+        for value in (0.01, 0.02, 0.03, 0.04):
+            hist.observe(value)
+        types, samples = parse_exposition(openmetrics_text(registry))
+        assert types["repro_executor_slack_s"] == "summary"
+        assert samples["repro_executor_slack_s_count"] == 4
+        assert samples["repro_executor_slack_s_sum"] == pytest.approx(0.1)
+        assert 'repro_executor_slack_s{quantile="0.5"}' in samples
+        assert 'repro_executor_slack_s{quantile="0.95"}' in samples
+        assert 'repro_executor_slack_s{quantile="0.99"}' in samples
+
+    def test_base_labels_stamped_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc()
+        text = openmetrics_text(
+            registry, labels={"run": "demo", "app": "sha"}
+        )
+        # Keys sorted: app before run.
+        assert 'repro_jobs_total{app="sha",run="demo"} 1' in text
+
+
+class TestEscaping:
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc()
+        text = openmetrics_text(
+            registry, labels={"run": 'we"ird\\name\nline'}
+        )
+        assert '{run="we\\"ird\\\\name\\nline"}' in text
+
+    def test_family_name_sanitized(self):
+        registry = MetricsRegistry()
+        registry.gauge("weird-metric.per-job µs").set(1.0)
+        types, _ = parse_exposition(openmetrics_text(registry, namespace=""))
+        (family,) = types
+        assert family == "weird_metric_per_job__s"
+
+    def test_leading_digit_gets_underscore(self):
+        types, _ = parse_exposition(
+            openmetrics_text(
+                {"counters": {"2048.jobs": 1}, "gauges": {}, "histograms": {}},
+                namespace="",
+            )
+        )
+        assert "_2048_jobs" in types
+
+    def test_help_newline_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc()
+        for line in openmetrics_text(registry).splitlines():
+            assert "\r" not in line
+
+
+class TestEdgeCases:
+    def test_empty_registry_is_just_eof(self):
+        assert openmetrics_text(MetricsRegistry()) == "# EOF\n"
+
+    def test_nan_gauge_keeps_metadata_skips_sample(self):
+        registry = MetricsRegistry()
+        registry.gauge("governor.slack_p95").set(float("nan"))
+        text = openmetrics_text(registry)
+        assert "# TYPE repro_governor_slack_p95 gauge" in text
+        assert "# HELP repro_governor_slack_p95" in text
+        # No sample line for the family.
+        sample_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_governor_slack_p95")
+        ]
+        assert sample_lines == []
+
+    def test_none_gauge_in_dump_skips_sample(self):
+        # metrics.json artifacts store NaN gauges as None.
+        dump = {"counters": {}, "gauges": {"x": None}, "histograms": {}}
+        _, samples = parse_exposition(openmetrics_text(dump))
+        assert samples == {}
+
+    def test_kind_collision_raises(self):
+        dump = {
+            "counters": {"jobs": 1},
+            "gauges": {"jobs": 2.0},
+            "histograms": {},
+        }
+        with pytest.raises(ValueError, match="both"):
+            openmetrics_text(dump)
+
+    def test_accepts_registry_dump_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("executor.jobs").inc(5)
+        registry.gauge("governor.miss_rate").set(0.25)
+        registry.histogram("executor.slack_s").observe(0.01)
+        via_registry = openmetrics_text(registry)
+        via_dump = openmetrics_text(registry.as_dict())
+        assert via_registry == via_dump
+
+
+class TestDirectoryExport:
+    def write_run(self, tmp_path, name, counters):
+        dump = {"counters": counters, "gauges": {}, "histograms": {}}
+        (tmp_path / f"{name}.metrics.json").write_text(json.dumps(dump))
+
+    def test_merges_runs_under_run_label(self, tmp_path):
+        self.write_run(tmp_path, "sha.prediction", {"executor.jobs": 3})
+        self.write_run(tmp_path, "sha.max", {"executor.jobs": 5})
+        text = openmetrics_directory(tmp_path)
+        _, samples = parse_exposition(text)
+        assert samples['repro_executor_jobs_total{run="sha.max"}'] == 5
+        assert (
+            samples['repro_executor_jobs_total{run="sha.prediction"}'] == 3
+        )
+        # Single TYPE block even with two runs.
+        assert text.count("# TYPE repro_executor_jobs ") == 1
+
+    def test_runs_prefix_filter(self, tmp_path):
+        self.write_run(tmp_path, "host.sha.prediction", {"host.jobs": 2})
+        self.write_run(tmp_path, "sha.prediction", {"executor.jobs": 3})
+        _, samples = parse_exposition(
+            openmetrics_directory(tmp_path, runs="host.")
+        )
+        assert list(samples) == [
+            'repro_host_jobs_total{run="host.sha.prediction"}'
+        ]

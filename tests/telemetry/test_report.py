@@ -95,6 +95,67 @@ class TestDirectoryTools:
         assert "no run names shared" in diff_directories(a, b)
 
 
+def write_two_runs(tmp_path, sub):
+    """A directory holding one simulated run and one host.* run."""
+    directory = tmp_path / sub
+    session = TraceSession(directory)
+    session.telemetry_for("sha.adaptive").metrics.counter(
+        "executor.jobs"
+    ).inc(3)
+    session.telemetry_for("host.sha.prediction").metrics.gauge(
+        "host.jobs_per_sec"
+    ).set(900.0)
+    session.flush()
+    return directory
+
+
+class TestRunsFilter:
+    """The --runs prefix filter applies to summaries, diffs and gates."""
+
+    def test_summarize_filters_by_prefix(self, tmp_path):
+        directory = write_two_runs(tmp_path, "a")
+        text = summarize_directory(directory, runs="host.")
+        assert "host.sha.prediction" in text
+        assert "sha.adaptive" not in text
+
+    def test_no_matching_prefix_raises(self, tmp_path):
+        directory = write_two_runs(tmp_path, "a")
+        with pytest.raises(FileNotFoundError, match="host.sha.prediction"):
+            summarize_directory(directory, runs="fleet.")
+
+    def test_diff_filters_by_prefix(self, tmp_path):
+        a = write_two_runs(tmp_path, "a")
+        b = tmp_path / "b"
+        session = TraceSession(b)
+        session.telemetry_for("sha.adaptive").metrics.counter(
+            "executor.jobs"
+        ).inc(5)
+        session.telemetry_for("host.sha.prediction").metrics.gauge(
+            "host.jobs_per_sec"
+        ).set(1800.0)
+        session.flush()
+        # Unfiltered diff sees both runs; host-filtered sees only one.
+        assert "executor.jobs" in diff_directories(a, b)
+        filtered = diff_directories(a, b, runs="host.")
+        assert "host.jobs_per_sec" in filtered
+        assert "executor.jobs" not in filtered
+
+    def test_compare_filters_by_prefix(self, tmp_path):
+        from repro.telemetry.report import compare_directories
+
+        a = write_two_runs(tmp_path, "a")
+        b = write_two_runs(tmp_path, "b")
+        diff = compare_directories(a, b, runs="host.")
+        assert diff.shared_runs == ("host.sha.prediction",)
+
+    def test_host_throughput_direction(self):
+        from repro.telemetry.report import metric_direction
+
+        assert metric_direction("host.jobs_per_sec") == "higher"
+        assert metric_direction("host.us_per_job.total") == "lower"
+        assert metric_direction("host.wall_s") == "lower"
+
+
 class TestMetricDirection:
     def test_lower_is_better(self):
         from repro.telemetry.report import metric_direction
