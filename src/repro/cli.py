@@ -20,6 +20,9 @@ Usage::
                                          # (exit 1 on SLO violation)
     python -m repro check --all-workloads --strict
                                          # certify every workload's slice
+    python -m repro lint --all-workloads --strict
+                                         # static analyses + report-only
+                                         # IR optimizer over workloads
     python -m repro explain DIR --job 17 # why the governor chose that
                                          # frequency for job 17
     python -m repro replay DIR ctrl.json # re-derive every decision from
@@ -85,6 +88,8 @@ def _list_experiments() -> str:
                  "live dashboard (repro watch --help)")
     lines.append("  check    run the slice certifier over workloads "
                  "(repro check --help)")
+    lines.append("  lint     static analyses plus the report-only IR "
+                 "optimizer over workload programs (repro lint --help)")
     lines.append("  explain  attribute one recorded frequency decision to "
                  "its features (repro explain --help)")
     lines.append("  replay   re-derive a trace's decisions offline, verify "
@@ -103,6 +108,8 @@ def main(argv: list[str] | None = None) -> int:
     if raw and raw[0] == "check":
         # Dispatch before the experiment parser sees check's own flags.
         return _check_command(raw[1:])
+    if raw and raw[0] == "lint":
+        return _lint_command(raw[1:])
     if raw and raw[0] == "watch":
         return _watch_command(raw[1:])
     if raw and raw[0] == "report":
@@ -1185,6 +1192,239 @@ def _check_command(argv: list[str]) -> int:
             )
         )
         print(f"[certificates -> {out}]")
+    if args.strict and failed:
+        return 1
+    return 0
+
+
+def _lint_one_workload(app, n_sample_jobs: int) -> dict:
+    """All lint findings for one workload (see ``_lint_command``).
+
+    Returns a dict with the waived diagnostic list, the optimizer's
+    rewrite certificates, and summary counts.  Pure so tests can call
+    it without going through argv parsing.
+    """
+    from repro.pipeline.offline import profiled_input_ranges
+    from repro.programs.analysis import (
+        Diagnostic,
+        apply_suppressions,
+        cost_bound,
+        dead_store_diagnostics,
+        hazard_diagnostics,
+    )
+    from repro.programs.instrument import Instrumenter
+    from repro.programs.opt import optimize_program
+    from repro.programs.validate import validate_program
+
+    program = app.task.program
+    sample_inputs = app.inputs(n_sample_jobs, seed=0)
+    input_names = frozenset().union(
+        *(frozenset(job) for job in sample_inputs)
+    )
+    input_ranges = profiled_input_ranges(sample_inputs, widen=0.5)
+
+    diagnostics: list[Diagnostic] = []
+    try:
+        validate_program(program, inputs=input_names)
+    except ValueError as error:
+        diagnostics.append(
+            Diagnostic(
+                pass_name="validate",
+                severity="error",
+                site="",
+                message=str(error),
+                program=app.name,
+            )
+        )
+    diagnostics.extend(
+        hazard_diagnostics(
+            program, input_names=input_names, program_name=app.name
+        )
+    )
+    diagnostics.extend(dead_store_diagnostics(program, program_name=app.name))
+    _, bound_diags = cost_bound(
+        program, input_ranges, program_name=app.name
+    )
+    diagnostics.extend(bound_diags)
+
+    # Report-only optimizer run over both the raw task program and its
+    # instrumented form (what the offline pipeline profiles): every kept
+    # rewrite carries a validated certificate; a certificate the
+    # validator rejected surfaces as an error diagnostic here even
+    # though the rewrite itself was already discarded.
+    certificates = []
+    rewrites = 0
+    rejected = 0
+    for variant, prog in (
+        ("task", program),
+        ("instrumented", Instrumenter().instrument(program).program),
+    ):
+        result = optimize_program(prog, input_ranges=input_ranges)
+        diagnostics.extend(result.diagnostics)
+        for cert in result.certificates:
+            certificates.append({"variant": variant, **cert.as_dict()})
+            rewrites += len(cert.rewrites)
+            if not cert.ok:
+                rejected += 1
+        if result.changed:
+            diagnostics.append(
+                Diagnostic(
+                    pass_name="opt",
+                    severity="info",
+                    site=variant,
+                    message=(
+                        f"optimizer would rewrite the {variant} program: "
+                        f"{result.nodes_before} -> {result.nodes_after} "
+                        "nodes (all rewrites translation-validated; "
+                        "report-only, nothing was changed)"
+                    ),
+                    program=app.name,
+                )
+            )
+
+    diagnostics = apply_suppressions(diagnostics, app.certifier_waivers)
+    by_severity = {"error": 0, "warning": 0, "info": 0}
+    suppressed = 0
+    for diagnostic in diagnostics:
+        if diagnostic.suppressed:
+            suppressed += 1
+        else:
+            by_severity[diagnostic.severity] += 1
+    return {
+        "diagnostics": diagnostics,
+        "certificates": certificates,
+        "counts": by_severity,
+        "suppressed": suppressed,
+        "rewrites": rewrites,
+        "rejected_certificates": rejected,
+    }
+
+
+def _lint_command(argv: list[str]) -> int:
+    """``repro lint`` — static analyses + report-only optimizer."""
+    from repro.workloads.registry import app_names, get_app
+
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Run the static-analysis suite over workload task programs "
+            "without training anything: structural validation, "
+            "unreachable-read hazards, dead stores, static cost-bound "
+            "looseness, plus a report-only pass of the IR optimizer "
+            "whose translation validator re-checks every rewrite it "
+            "proposes.  Nothing is modified; findings are printed as "
+            "diagnostics and (optionally) exported for the CI gate."
+        ),
+    )
+    parser.add_argument(
+        "apps", nargs="*", help="workloads to lint (default: all)"
+    )
+    parser.add_argument(
+        "--all-workloads",
+        action="store_true",
+        help="lint every registered workload",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if any unwaived error-severity finding remains",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write all findings and rewrite certificates as JSON to FILE",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write lint.* counters to DIR/lint.all.metrics.json in the "
+            "trace-directory schema, so `repro report DIR --gate "
+            "BENCH_lint_baseline.json --runs lint.` can gate them"
+        ),
+    )
+    parser.add_argument(
+        "--sample-jobs",
+        type=int,
+        default=40,
+        help="input-script jobs sampled per app to seed input ranges",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(args.apps)
+    if args.all_workloads or not names:
+        names = list(app_names())
+    unknown = [n for n in names if n not in app_names()]
+    if unknown:
+        print(f"unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    totals = {"error": 0, "warning": 0, "info": 0}
+    suppressed = 0
+    rewrites = 0
+    rejected = 0
+    failed: list[str] = []
+    report: dict[str, dict] = {}
+    for name in names:
+        outcome = _lint_one_workload(get_app(name), args.sample_jobs)
+        for severity in totals:
+            totals[severity] += outcome["counts"][severity]
+        suppressed += outcome["suppressed"]
+        rewrites += outcome["rewrites"]
+        rejected += outcome["rejected_certificates"]
+        if outcome["counts"]["error"]:
+            failed.append(name)
+        print(f"== {name}")
+        if outcome["diagnostics"]:
+            for diagnostic in outcome["diagnostics"]:
+                print("  " + diagnostic.format())
+        else:
+            print("  clean")
+        print()
+        report[name] = {
+            "diagnostics": [
+                d.as_dict() for d in outcome["diagnostics"]
+            ],
+            "certificates": outcome["certificates"],
+            "counts": outcome["counts"],
+            "suppressed": outcome["suppressed"],
+        }
+
+    print(
+        f"{len(names) - len(failed)}/{len(names)} workload(s) clean; "
+        f"{totals['error']} error(s), {totals['warning']} warning(s), "
+        f"{totals['info']} info, {suppressed} waived; "
+        f"{rewrites} validated rewrite(s) proposed, "
+        f"{rejected} certificate(s) rejected"
+        + (f"; errors in: {', '.join(failed)}" if failed else "")
+    )
+    if args.output is not None:
+        out = pathlib.Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2))
+        print(f"[lint report -> {out}]")
+    if args.trace is not None:
+        trace_dir = pathlib.Path(args.trace)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        metrics = {
+            "counters": {
+                "lint.workloads": float(len(names)),
+                "lint.diagnostics.error": float(totals["error"]),
+                "lint.diagnostics.warning": float(totals["warning"]),
+                "lint.diagnostics.info": float(totals["info"]),
+                "lint.diagnostics.suppressed": float(suppressed),
+                "lint.opt.rewrites": float(rewrites),
+                "lint.opt.rejected_certificates": float(rejected),
+            },
+            "gauges": {},
+            "histograms": {},
+        }
+        (trace_dir / "lint.all.metrics.json").write_text(
+            json.dumps(metrics, indent=2)
+        )
+        print(f"[lint metrics -> {trace_dir / 'lint.all.metrics.json'}]")
     if args.strict and failed:
         return 1
     return 0

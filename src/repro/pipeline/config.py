@@ -52,6 +52,15 @@ class PipelineConfig:
             ``(app_name, n_jobs)`` pairs.  pocketsphinx jobs are seconds
             long, so fewer of them keep simulated sessions comparable in
             wall-clock cost.
+        optimize: Which programs the IR optimizer
+            (:mod:`repro.programs.opt`) rewrites before deployment:
+            "off" (default) leaves everything untouched, "slice"
+            optimizes the prediction slice before it is certified,
+            "all" additionally optimizes the task program the
+            :class:`~repro.analysis.harness.Lab` runs.  Every kept
+            rewrite is translation-validated; rewrites that fail
+            validation are discarded, so this knob can change host
+            speed but never simulated behaviour.
     """
 
     alpha: float = 100.0
@@ -69,6 +78,7 @@ class PipelineConfig:
     certify_input_widen: float = 0.5
     eval_n_jobs: int = 250
     eval_n_jobs_overrides: tuple[tuple[str, int], ...] = (("pocketsphinx", 40),)
+    optimize: str = "off"
 
     def __post_init__(self) -> None:
         if self.alpha <= 0:
@@ -88,6 +98,11 @@ class PipelineConfig:
             )
         if self.certify_input_widen < 0:
             raise ValueError("certify_input_widen must be non-negative")
+        if self.optimize not in ("off", "slice", "all"):
+            raise ValueError(
+                f"optimize must be 'off', 'slice', or 'all', "
+                f"got {self.optimize!r}"
+            )
         # JSON round-trips (pipeline.persist) deliver lists; normalize so
         # the config stays hashable and comparable.
         object.__setattr__(

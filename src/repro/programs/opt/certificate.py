@@ -1,0 +1,145 @@
+"""Machine-checkable certificates for optimization runs.
+
+A :class:`RewriteCertificate` records, for one pass application, what
+the pass claims it did (the rewrite log), fingerprints of the programs
+it transformed (serialization digests, so any consumer can re-derive
+and cross-check them), the validator's verdict on every equivalence
+check, and the static cost bounds on both sides.  Certificates are
+plain data — JSON round-trippable — so `repro lint` can emit them and
+CI can archive them next to the diagnostics artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.programs.analysis.diagnostics import Diagnostic
+from repro.programs.ir import Program
+from repro.programs.opt.rewrite import RewriteStep
+from repro.programs.opt.verify import CheckResult
+from repro.programs.serialize import program_to_json
+
+__all__ = [
+    "program_digest",
+    "RewriteCertificate",
+    "OptimizationResult",
+]
+
+
+def program_digest(program: Program) -> str:
+    """Stable fingerprint of a program: sha256 of its canonical JSON."""
+    payload = program_to_json(program).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass(frozen=True)
+class RewriteCertificate:
+    """Evidence for one pass application.
+
+    Attributes:
+        pass_name: Which pass ran (``"normalize"``, ``"fold"``, ...).
+        program: Name of the program transformed.
+        before_digest / after_digest: Serialization fingerprints of the
+            input and candidate-output programs.
+        accepted: Whether the driver kept the rewrite (all checks ok).
+        rewrites: The pass's own log of applied rules.
+        checks: The translation validator's per-property verdicts.
+        cost_before / cost_after: Static worst-case (instructions,
+            mem_refs) bounds on each side, for audit.
+    """
+
+    pass_name: str
+    program: str
+    before_digest: str
+    after_digest: str
+    accepted: bool
+    rewrites: tuple[RewriteStep, ...] = ()
+    checks: tuple[CheckResult, ...] = ()
+    cost_before: tuple[float, float] = (0.0, 0.0)
+    cost_after: tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def ok(self) -> bool:
+        """All validator checks passed."""
+        return all(check.ok for check in self.checks)
+
+    @property
+    def identity(self) -> bool:
+        """The pass left the program unchanged."""
+        return self.before_digest == self.after_digest
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "pass": self.pass_name,
+            "program": self.program,
+            "before_digest": self.before_digest,
+            "after_digest": self.after_digest,
+            "accepted": self.accepted,
+            "rewrites": [step.as_dict() for step in self.rewrites],
+            "checks": [check.as_dict() for check in self.checks],
+            "cost_before": list(self.cost_before),
+            "cost_after": list(self.cost_after),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RewriteCertificate":
+        return cls(
+            pass_name=data["pass"],
+            program=data.get("program", ""),
+            before_digest=data["before_digest"],
+            after_digest=data["after_digest"],
+            accepted=bool(data["accepted"]),
+            rewrites=tuple(
+                RewriteStep.from_dict(step) for step in data.get("rewrites", ())
+            ),
+            checks=tuple(
+                CheckResult.from_dict(c) for c in data.get("checks", ())
+            ),
+            cost_before=tuple(data.get("cost_before", (0.0, 0.0))),
+            cost_after=tuple(data.get("cost_after", (0.0, 0.0))),
+        )
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Everything :func:`~repro.programs.opt.optimize_program` produced.
+
+    Attributes:
+        original: The untouched input program.
+        program: The optimized program (== ``original`` when nothing
+            applied) — only validated rewrites are ever incorporated.
+        certificates: One certificate per pass that attempted a rewrite.
+        diagnostics: Error diagnostics for any discarded rewrite.
+        nodes_before / nodes_after: Statement-node counts — the host
+            interpreter dispatches per node, so the delta is the
+            host-work headline.
+    """
+
+    original: Program
+    program: Program
+    certificates: tuple[RewriteCertificate, ...] = ()
+    diagnostics: tuple[Diagnostic, ...] = ()
+    nodes_before: int = 0
+    nodes_after: int = 0
+
+    @property
+    def validated(self) -> bool:
+        """Every attempted rewrite passed translation validation."""
+        return all(cert.ok for cert in self.certificates)
+
+    @property
+    def changed(self) -> bool:
+        return self.program is not self.original
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "program": self.original.name,
+            "validated": self.validated,
+            "changed": self.changed,
+            "nodes_before": self.nodes_before,
+            "nodes_after": self.nodes_after,
+            "certificates": [cert.as_dict() for cert in self.certificates],
+            "diagnostics": [diag.as_dict() for diag in self.diagnostics],
+        }

@@ -1,0 +1,190 @@
+"""Common-subexpression elimination over straight-line Seq regions.
+
+The interpreter re-evaluates every expression tree node by node on the
+host, so evaluating ``(a + b) * c`` twice costs twice the host time even
+though it costs nothing in simulated cycles.  CSE stores the value once
+in an optimizer temporary (``Assign(tmp, e, cost=0.0)`` — a zero-cost
+assignment adds exactly ``0.0`` to the accumulator, which is an exact
+identity) and replaces each occurrence with a single ``Var`` read.
+
+Scope is deliberately modest and easy to verify: only the *direct
+evaluation slots* of a ``Seq``'s children participate (``Assign.expr``,
+``If.cond``, ``Loop.count``, ``IndirectCall.target``, and a counted
+``Hint.expr``), and availability is invalidated by any name a child's
+subtree may write.  ``While.cond`` never participates: it re-evaluates
+on every trip against state the body mutates.  Uncounted hints never
+participate either — the interpreter never evaluates their expression,
+so registering it would manufacture an evaluation that the original
+program did not perform at that point.
+
+Safety argument: the temp assignment is inserted *immediately before*
+the first-occurrence child, with no intervening statement, so it
+evaluates the expression in exactly the environment the child would
+have — same value, and a crash if and only if the original would crash
+a moment later.  Later occurrences read the temp instead; invalidation
+guarantees no write to any operand happened in between, so the value
+(and crash-freedom, already proven by the first evaluation) carries
+over bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.programs.expr import Const, Expr, Var
+from repro.programs.ir import (
+    Assign,
+    Hint,
+    If,
+    IndirectCall,
+    Loop,
+    Program,
+    Seq,
+    Stmt,
+    While,
+)
+from repro.programs.opt.rewrite import (
+    OptContext,
+    RewriteStep,
+    subtree_writes,
+)
+
+__all__ = ["cse"]
+
+
+def _slot(stmt: Stmt) -> Expr | None:
+    """The single expression a Seq child evaluates on entry, if any."""
+    if isinstance(stmt, Assign):
+        return stmt.expr
+    if isinstance(stmt, If):
+        return stmt.cond
+    if isinstance(stmt, Loop):
+        return stmt.count
+    if isinstance(stmt, IndirectCall):
+        return stmt.target
+    if isinstance(stmt, Hint) and stmt.counted:
+        return stmt.expr
+    return None
+
+
+def _with_slot(stmt: Stmt, expr: Expr) -> Stmt:
+    if isinstance(stmt, Assign):
+        return replace(stmt, expr=expr)
+    if isinstance(stmt, If):
+        return replace(stmt, cond=expr)
+    if isinstance(stmt, Loop):
+        return replace(stmt, count=expr)
+    if isinstance(stmt, IndirectCall):
+        return replace(stmt, target=expr)
+    if isinstance(stmt, Hint):
+        return replace(stmt, expr=expr)
+    raise TypeError(f"no expression slot on {type(stmt).__name__}")
+
+
+def _candidate(expr: Expr | None) -> bool:
+    """Worth commoning: a real computation, not a leaf read/constant."""
+    return expr is not None and not isinstance(expr, (Const, Var))
+
+
+@dataclass
+class _Group:
+    expr: Expr
+    occurrences: list[int] = field(default_factory=list)
+
+
+def cse(program: Program, ctx: OptContext) -> tuple[Program, list[RewriteStep]]:
+    steps: list[RewriteStep] = []
+
+    def rebuild(stmt: Stmt) -> Stmt:
+        if isinstance(stmt, Seq):
+            children = [rebuild(child) for child in stmt.stmts]
+            children = _common_seq(children)
+            if len(children) == len(stmt.stmts) and all(
+                a is b for a, b in zip(children, stmt.stmts)
+            ):
+                return stmt
+            return Seq(children)
+        if isinstance(stmt, If):
+            then = rebuild(stmt.then)
+            orelse = (
+                rebuild(stmt.orelse) if stmt.orelse is not None else None
+            )
+            if then is stmt.then and orelse is stmt.orelse:
+                return stmt
+            return replace(stmt, then=then, orelse=orelse)
+        if isinstance(stmt, (Loop, While)):
+            body = rebuild(stmt.body)
+            return stmt if body is stmt.body else replace(stmt, body=body)
+        if isinstance(stmt, IndirectCall):
+            table = {
+                address: rebuild(callee)
+                for address, callee in stmt.table.items()
+            }
+            default = (
+                rebuild(stmt.default) if stmt.default is not None else None
+            )
+            if default is stmt.default and all(
+                table[a] is stmt.table[a] for a in table
+            ):
+                return stmt
+            return replace(stmt, table=table, default=default)
+        return stmt
+
+    def _common_seq(children: list[Stmt]) -> list[Stmt]:
+        # Phase 1: group identical available expressions.  A group is
+        # finalized (kept iff it has >= 2 occurrences) when a write
+        # invalidates it; structural Expr equality/hash keys the map.
+        available: dict[Expr, _Group] = {}
+        finalized: list[_Group] = []
+        for index, child in enumerate(children):
+            expr = _slot(child)
+            if _candidate(expr):
+                group = available.get(expr)
+                if group is None:
+                    group = _Group(expr)
+                    available[expr] = group
+                group.occurrences.append(index)
+            writes = subtree_writes(child)
+            if writes:
+                for key in list(available):
+                    if key.variables() & writes:
+                        finalized.append(available.pop(key))
+        finalized.extend(available.values())
+        groups = [g for g in finalized if len(g.occurrences) >= 2]
+        if not groups:
+            return children
+
+        # Phase 2: insert one temp per group before its first occurrence
+        # and redirect every occurrence through it.
+        replacement: dict[int, Expr] = {}
+        inserts: dict[int, Stmt] = {}
+        for group in groups:
+            tmp = ctx.fresh.fresh("cse")
+            first = group.occurrences[0]
+            inserts[first] = Assign(tmp, group.expr, cost=0.0)
+            for index in group.occurrences:
+                replacement[index] = Var(tmp)
+            steps.append(
+                RewriteStep(
+                    "cse",
+                    site=tmp,
+                    detail=(
+                        f"{len(group.occurrences)} occurrences share "
+                        "one evaluation"
+                    ),
+                )
+            )
+        out: list[Stmt] = []
+        for index, child in enumerate(children):
+            if index in inserts:
+                out.append(inserts[index])
+            if index in replacement:
+                out.append(_with_slot(child, replacement[index]))
+            else:
+                out.append(child)
+        return out
+
+    new_body = rebuild(program.body)
+    if not steps:
+        return program, []
+    return replace(program, body=new_body), steps

@@ -1,0 +1,171 @@
+"""The optimizer driver: pass scheduling + translation validation.
+
+:func:`optimize_program` runs the enabled passes in order (normalize,
+fold, dce, cse, licm, then a normalize cleanup to flatten the wrappers
+the later passes introduce), repeating the whole sequence until a
+round changes nothing.  After every pass that reports rewrites, the
+translation validator re-checks the candidate; a failing candidate is
+*discarded* — the driver keeps the predecessor program and records the
+failure as an error diagnostic — so optimize_program never returns a
+program that failed validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.programs.ir import Program
+from repro.programs.opt.certificate import (
+    OptimizationResult,
+    RewriteCertificate,
+    program_digest,
+)
+from repro.programs.opt.cse import cse
+from repro.programs.opt.dce import dce
+from repro.programs.opt.fold import fold
+from repro.programs.opt.licm import licm
+from repro.programs.opt.normalize import normalize
+from repro.programs.opt.rewrite import (
+    FreshNames,
+    OptContext,
+    program_names,
+    sound_cost_bound,
+)
+from repro.programs.opt.verify import rewrite_diagnostics, validate_rewrite
+from repro.programs.validate import free_variables
+
+__all__ = ["OptConfig", "optimize_program", "PASS_FUNCTIONS"]
+
+
+@dataclass(frozen=True)
+class OptConfig:
+    """Per-pass switches and driver policy.
+
+    Attributes:
+        normalize / fold / dce / cse / licm: Enable the named pass.
+        validate: Run the translation validator after every pass and
+            discard rewrites that fail (disable only in tests).
+        assume_input_ranges: Let *rewrite decisions* (not just cost
+            comparisons) assume the caller's declared input ranges.
+            Off by default: a range-derived fold is only valid for
+            inputs inside the ranges, so callers must opt in knowingly.
+        max_rounds: Upper bound on full pass-sequence repetitions.
+    """
+
+    normalize: bool = True
+    fold: bool = True
+    dce: bool = True
+    cse: bool = True
+    licm: bool = True
+    validate: bool = True
+    assume_input_ranges: bool = False
+    max_rounds: int = 4
+
+
+#: Pass registry, in execution order.  Module-level on purpose: tests
+#: monkeypatch entries to prove the validator rejects a broken pass.
+PASS_FUNCTIONS: list[tuple[str, object]] = [
+    ("normalize", normalize),
+    ("fold", fold),
+    ("dce", dce),
+    ("cse", cse),
+    ("licm", licm),
+    ("cleanup", normalize),
+]
+
+_PASS_SWITCH = {
+    "normalize": "normalize",
+    "fold": "fold",
+    "dce": "dce",
+    "cse": "cse",
+    "licm": "licm",
+    "cleanup": "normalize",
+}
+
+
+def optimize_program(
+    program: Program,
+    *,
+    config: OptConfig | None = None,
+    input_names=None,
+    input_ranges=None,
+) -> OptimizationResult:
+    """Optimize ``program``; every kept rewrite is validator-approved.
+
+    Args:
+        program: The program to optimize (never mutated).
+        config: Pass switches; defaults to everything on.
+        input_names: Declared input variables.  Defaults to the
+            program's free variables — names bound by the runtime.
+        input_ranges: Optional ``{name: (lo, hi)}`` ranges.  Always used
+            for cost-bound *comparison*; only used for rewrite decisions
+            when ``config.assume_input_ranges`` is set.
+    """
+    from repro.programs.opt.rewrite import node_count
+
+    config = config or OptConfig()
+    if input_names is None:
+        input_names = free_variables(program)
+    ctx = OptContext(
+        input_names=frozenset(input_names),
+        input_ranges=dict(input_ranges) if input_ranges else None,
+        fold_ranges=(
+            dict(input_ranges)
+            if (input_ranges and config.assume_input_ranges)
+            else None
+        ),
+        fresh=FreshNames(program_names(program)),
+    )
+
+    current = program
+    certificates: list[RewriteCertificate] = []
+    diagnostics = []
+    for _ in range(max(1, config.max_rounds)):
+        round_changed = False
+        for pass_name, pass_fn in PASS_FUNCTIONS:
+            if not getattr(config, _PASS_SWITCH[pass_name]):
+                continue
+            candidate, steps = pass_fn(current, ctx)
+            if not steps:
+                continue
+            checks = (
+                validate_rewrite(current, candidate, ctx, pass_name)
+                if config.validate
+                else []
+            )
+            accepted = all(check.ok for check in checks)
+            cost_before = sound_cost_bound(current, ctx.input_ranges)
+            cost_after = sound_cost_bound(candidate, ctx.input_ranges)
+            certificates.append(
+                RewriteCertificate(
+                    pass_name=pass_name,
+                    program=program.name,
+                    before_digest=program_digest(current),
+                    after_digest=program_digest(candidate),
+                    accepted=accepted,
+                    rewrites=tuple(steps),
+                    checks=tuple(checks),
+                    cost_before=(
+                        cost_before.instructions,
+                        cost_before.mem_refs,
+                    ),
+                    cost_after=(cost_after.instructions, cost_after.mem_refs),
+                )
+            )
+            if accepted:
+                current = candidate
+                round_changed = True
+            else:
+                diagnostics.extend(
+                    rewrite_diagnostics(pass_name, program, checks)
+                )
+        if not round_changed:
+            break
+    return OptimizationResult(
+        original=program,
+        program=current,
+        certificates=tuple(certificates),
+        diagnostics=tuple(diagnostics),
+        nodes_before=node_count(program),
+        nodes_after=node_count(current),
+    )

@@ -1,0 +1,315 @@
+"""Loop-invariant code motion: hoist re-evaluated expressions out.
+
+A loop body's expression slots are re-evaluated by the host interpreter
+on every trip.  When an expression's operands cannot change inside the
+loop — no statement in the body writes them and the loop variable is
+not among them — every trip computes the same value, which also equals
+the value at loop entry.  LICM evaluates it once into an optimizer
+temporary before the loop and substitutes a ``Var`` read in the body.
+
+The hoisted ``Assign(tmp, e, cost=0.0)`` adds exactly ``0.0`` to the
+cost accumulator (an exact identity) and runs even when the loop runs
+zero trips — an *extra* evaluation relative to the original, which is
+only behaviour-preserving because the guards prove it cannot fault:
+operands are must-defined at the loop head and the expression contains
+no partial operator (:func:`eval_cannot_raise`).  Counted loops
+participate too — hoisting touches neither the trip count nor the
+feature record.
+
+Eligible in-body slots are the same as CSE's plus an inner ``While``'s
+condition: the temp is written once before the loop and never inside
+it, so re-evaluating ``Var(tmp)`` per trip-check is still the same
+value.  Hoisting operates on *maximal invariant subexpressions* of each
+slot — ``g + in_a * 5`` with ``g`` varying still hoists ``in_a * 5``.
+A hoisted subexpression may sit under a short-circuiting ``BoolOp`` arm
+the original never evaluated; that is exactly why the cannot-fault
+guards are mandatory rather than merely prudent.  Bodies of elided
+loops are skipped (they never execute), but an elided loop's *count* is
+still a live slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.programs.analysis.reaching import must_defined
+from repro.programs.expr import (
+    BinOp,
+    BoolOp,
+    Compare,
+    Const,
+    Expr,
+    IfExpr,
+    UnaryOp,
+    Var,
+)
+from repro.programs.ir import (
+    Assign,
+    Hint,
+    If,
+    IndirectCall,
+    Loop,
+    Program,
+    Seq,
+    Stmt,
+    While,
+)
+from repro.programs.opt.rewrite import (
+    OptContext,
+    RewriteStep,
+    eval_cannot_raise,
+    subtree_writes,
+)
+
+__all__ = ["licm"]
+
+_MAX_ROUNDS = 3
+
+
+def licm(program: Program, ctx: OptContext) -> tuple[Program, list[RewriteStep]]:
+    """Iterate hoisting rounds so inner hoists can move further out."""
+    steps: list[RewriteStep] = []
+    current = program
+    for _ in range(_MAX_ROUNDS):
+        current, round_steps = _licm_round(current, ctx)
+        if not round_steps:
+            break
+        steps.extend(round_steps)
+    return current, steps
+
+
+def _collect_slots(stmt: Stmt, out: list[Expr]) -> None:
+    """Every expression slot evaluated somewhere under ``stmt``."""
+    if isinstance(stmt, Assign):
+        out.append(stmt.expr)
+    elif isinstance(stmt, Hint):
+        if stmt.counted:
+            out.append(stmt.expr)
+    elif isinstance(stmt, Seq):
+        for child in stmt.stmts:
+            _collect_slots(child, out)
+    elif isinstance(stmt, If):
+        out.append(stmt.cond)
+        _collect_slots(stmt.then, out)
+        if stmt.orelse is not None:
+            _collect_slots(stmt.orelse, out)
+    elif isinstance(stmt, Loop):
+        out.append(stmt.count)
+        if not stmt.elide_body:
+            _collect_slots(stmt.body, out)
+    elif isinstance(stmt, While):
+        out.append(stmt.cond)
+        _collect_slots(stmt.body, out)
+    elif isinstance(stmt, IndirectCall):
+        out.append(stmt.target)
+        for callee in stmt.table.values():
+            _collect_slots(callee, out)
+        if stmt.default is not None:
+            _collect_slots(stmt.default, out)
+
+
+def _expr_children(expr: Expr) -> tuple[Expr, ...]:
+    if isinstance(expr, (BinOp, Compare)):
+        return (expr.left, expr.right)
+    if isinstance(expr, UnaryOp):
+        return (expr.operand,)
+    if isinstance(expr, BoolOp):
+        return tuple(expr.operands)
+    if isinstance(expr, IfExpr):
+        return (expr.cond, expr.then, expr.orelse)
+    return ()
+
+
+def _rebuild_expr(expr: Expr, children: tuple[Expr, ...]) -> Expr:
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, children[0], children[1])
+    if isinstance(expr, Compare):
+        return Compare(expr.op, children[0], children[1])
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, children[0])
+    if isinstance(expr, BoolOp):
+        return BoolOp(expr.op, list(children))
+    if isinstance(expr, IfExpr):
+        return IfExpr(children[0], children[1], children[2])
+    return expr
+
+
+def _collect_invariant(expr: Expr, invariant, out: list[Expr]) -> None:
+    """Maximal invariant subexpressions of ``expr``, outermost first."""
+    if not isinstance(expr, (Const, Var)) and invariant(expr):
+        out.append(expr)
+        return
+    for child in _expr_children(expr):
+        _collect_invariant(child, invariant, out)
+
+
+def _substitute(stmt: Stmt, mapping: dict[Expr, Expr]) -> Stmt:
+    """Replace mapped subexpressions (by structural equality) throughout."""
+
+    def sub(expr: Expr) -> Expr:
+        hit = mapping.get(expr)
+        if hit is not None:
+            return hit
+        children = _expr_children(expr)
+        if not children:
+            return expr
+        rebuilt = tuple(sub(child) for child in children)
+        if all(a is b for a, b in zip(rebuilt, children)):
+            return expr
+        return _rebuild_expr(expr, rebuilt)
+
+    if isinstance(stmt, Assign):
+        expr = sub(stmt.expr)
+        return stmt if expr is stmt.expr else replace(stmt, expr=expr)
+    if isinstance(stmt, Hint):
+        if not stmt.counted:
+            return stmt
+        expr = sub(stmt.expr)
+        return stmt if expr is stmt.expr else replace(stmt, expr=expr)
+    if isinstance(stmt, Seq):
+        children = [_substitute(child, mapping) for child in stmt.stmts]
+        if all(a is b for a, b in zip(children, stmt.stmts)):
+            return stmt
+        return Seq(children)
+    if isinstance(stmt, If):
+        cond = sub(stmt.cond)
+        then = _substitute(stmt.then, mapping)
+        orelse = (
+            _substitute(stmt.orelse, mapping)
+            if stmt.orelse is not None
+            else None
+        )
+        if cond is stmt.cond and then is stmt.then and orelse is stmt.orelse:
+            return stmt
+        return replace(stmt, cond=cond, then=then, orelse=orelse)
+    if isinstance(stmt, Loop):
+        count = sub(stmt.count)
+        body = (
+            stmt.body
+            if stmt.elide_body
+            else _substitute(stmt.body, mapping)
+        )
+        if count is stmt.count and body is stmt.body:
+            return stmt
+        return replace(stmt, count=count, body=body)
+    if isinstance(stmt, While):
+        cond = sub(stmt.cond)
+        body = _substitute(stmt.body, mapping)
+        if cond is stmt.cond and body is stmt.body:
+            return stmt
+        return replace(stmt, cond=cond, body=body)
+    if isinstance(stmt, IndirectCall):
+        target = sub(stmt.target)
+        table = {
+            address: _substitute(callee, mapping)
+            for address, callee in stmt.table.items()
+        }
+        default = (
+            _substitute(stmt.default, mapping)
+            if stmt.default is not None
+            else None
+        )
+        if (
+            target is stmt.target
+            and default is stmt.default
+            and all(table[a] is stmt.table[a] for a in table)
+        ):
+            return stmt
+        return replace(stmt, target=target, table=table, default=default)
+    return stmt
+
+
+def _licm_round(
+    program: Program, ctx: OptContext
+) -> tuple[Program, list[RewriteStep]]:
+    defined = must_defined(program, ctx.input_names)
+    steps: list[RewriteStep] = []
+
+    def hoist_from(stmt: Loop | While) -> Stmt:
+        body = rebuild(stmt.body)
+        varying = set(subtree_writes(body))
+        if isinstance(stmt, Loop) and stmt.loop_var is not None:
+            varying.add(stmt.loop_var)
+        mdef = defined.state_at(stmt)
+
+        def invariant(expr: Expr) -> bool:
+            names = expr.variables()
+            return bool(
+                names
+                and mdef is not None
+                and names <= mdef
+                and not (names & varying)
+                and eval_cannot_raise(expr)
+            )
+
+        slots: list[Expr] = []
+        _collect_slots(body, slots)
+        candidates: list[Expr] = []
+        for expr in slots:
+            _collect_invariant(expr, invariant, candidates)
+        hoistable: list[Expr] = []
+        seen: set[Expr] = set()
+        for expr in candidates:
+            if expr not in seen:
+                seen.add(expr)
+                hoistable.append(expr)
+        if not hoistable:
+            if body is stmt.body:
+                return stmt
+            return replace(stmt, body=body)
+
+        mapping: dict[Expr, Expr] = {}
+        prologue: list[Stmt] = []
+        for expr in hoistable:
+            tmp = ctx.fresh.fresh("licm")
+            mapping[expr] = Var(tmp)
+            prologue.append(Assign(tmp, expr, cost=0.0))
+            steps.append(
+                RewriteStep(
+                    "licm",
+                    site=getattr(stmt, "site", ""),
+                    detail=f"hoisted invariant expression into {tmp}",
+                )
+            )
+        new_body = _substitute(body, mapping)
+        return Seq(prologue + [replace(stmt, body=new_body)])
+
+    def rebuild(stmt: Stmt) -> Stmt:
+        if isinstance(stmt, Seq):
+            children = [rebuild(child) for child in stmt.stmts]
+            if all(a is b for a, b in zip(children, stmt.stmts)):
+                return stmt
+            return Seq(children)
+        if isinstance(stmt, If):
+            then = rebuild(stmt.then)
+            orelse = (
+                rebuild(stmt.orelse) if stmt.orelse is not None else None
+            )
+            if then is stmt.then and orelse is stmt.orelse:
+                return stmt
+            return replace(stmt, then=then, orelse=orelse)
+        if isinstance(stmt, Loop):
+            if stmt.elide_body:
+                return stmt
+            return hoist_from(stmt)
+        if isinstance(stmt, While):
+            return hoist_from(stmt)
+        if isinstance(stmt, IndirectCall):
+            table = {
+                address: rebuild(callee)
+                for address, callee in stmt.table.items()
+            }
+            default = (
+                rebuild(stmt.default) if stmt.default is not None else None
+            )
+            if default is stmt.default and all(
+                table[a] is stmt.table[a] for a in table
+            ):
+                return stmt
+            return replace(stmt, table=table, default=default)
+        return stmt
+
+    new_body = rebuild(program.body)
+    if not steps:
+        return program, []
+    return replace(program, body=new_body), steps

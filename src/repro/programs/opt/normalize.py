@@ -1,0 +1,136 @@
+"""Normalization: structural cleanup that every later pass relies on.
+
+Rewrites (all sequence-preserving except block merging, which requires
+the exactness precondition of :mod:`repro.programs.opt.rewrite`):
+
+- flatten nested ``Seq`` nodes and drop empty ones;
+- collapse single-statement ``Seq`` wrappers;
+- drop an ``If``'s empty else-arm;
+- merge adjacent ``Block`` nodes into one (one interpreter dispatch
+  instead of two) — only when both accumulators tolerate regrouped
+  additions, since ``(a + b) + c == a + (b + c)`` is false for floats
+  in general.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.programs.ir import (
+    Assign,
+    Block,
+    Hint,
+    If,
+    IndirectCall,
+    Loop,
+    Program,
+    Seq,
+    Stmt,
+    While,
+)
+from repro.programs.opt.rewrite import (
+    OptContext,
+    RewriteStep,
+    exactness,
+    is_empty,
+)
+
+__all__ = ["normalize"]
+
+
+def normalize(
+    program: Program, ctx: OptContext
+) -> tuple[Program, list[RewriteStep]]:
+    """Run normalization; returns the rewritten program and its log."""
+    exact = exactness(program, ctx.input_ranges)
+    steps: list[RewriteStep] = []
+
+    def can_merge(a: Block, b: Block) -> bool:
+        if not exact.instructions:
+            return False
+        if a.mem_refs == 0.0 and b.mem_refs == 0.0:
+            return True
+        return exact.mem_refs
+
+    def rebuild(stmt: Stmt) -> Stmt:
+        if isinstance(stmt, Seq):
+            children: list[Stmt] = []
+            for child in stmt.stmts:
+                rebuilt = rebuild(child)
+                if isinstance(rebuilt, Seq):
+                    # Executing a Seq runs its children in order, so
+                    # inlining them in the parent is sequence-preserving.
+                    items = rebuilt.stmts
+                    steps.append(
+                        RewriteStep(
+                            "seq-drop-empty" if not items else "seq-flatten",
+                            detail=f"inlined {len(items)} nested stmt(s)",
+                        )
+                    )
+                else:
+                    items = (rebuilt,)
+                for item in items:
+                    if (
+                        children
+                        and isinstance(item, Block)
+                        and isinstance(children[-1], Block)
+                        and can_merge(children[-1], item)
+                    ):
+                        prev = children.pop()
+                        children.append(
+                            Block(
+                                prev.instructions + item.instructions,
+                                prev.mem_refs + item.mem_refs,
+                                name=prev.name or item.name,
+                            )
+                        )
+                        steps.append(
+                            RewriteStep(
+                                "block-merge",
+                                site=prev.name or item.name,
+                                detail="merged adjacent compute blocks "
+                                "(integral costs, bounded sum)",
+                            )
+                        )
+                    else:
+                        children.append(item)
+            if len(children) == 1:
+                steps.append(RewriteStep("seq-collapse-singleton"))
+                return children[0]
+            return Seq(children)
+        if isinstance(stmt, If):
+            then = rebuild(stmt.then)
+            orelse = (
+                rebuild(stmt.orelse) if stmt.orelse is not None else None
+            )
+            if orelse is not None and is_empty(orelse):
+                steps.append(RewriteStep("if-drop-empty-else", stmt.site))
+                orelse = None
+            if then is stmt.then and orelse is stmt.orelse:
+                return stmt
+            return replace(stmt, then=then, orelse=orelse)
+        if isinstance(stmt, Loop):
+            body = rebuild(stmt.body)
+            return stmt if body is stmt.body else replace(stmt, body=body)
+        if isinstance(stmt, While):
+            body = rebuild(stmt.body)
+            return stmt if body is stmt.body else replace(stmt, body=body)
+        if isinstance(stmt, IndirectCall):
+            table = {
+                address: rebuild(callee)
+                for address, callee in stmt.table.items()
+            }
+            default = (
+                rebuild(stmt.default) if stmt.default is not None else None
+            )
+            if default is stmt.default and all(
+                table[a] is stmt.table[a] for a in table
+            ):
+                return stmt
+            return replace(stmt, table=table, default=default)
+        return stmt
+
+    new_body = rebuild(program.body)
+    if new_body == program.body:
+        return program, []
+    return replace(program, body=new_body), steps

@@ -1,0 +1,206 @@
+"""Translation validation: statically re-check every pass's output.
+
+Passes are *trusted to be useful, verified to be safe*: after each pass
+the validator compares the candidate program against its predecessor on
+every property the rest of the system observes, and the driver discards
+the rewrite (keeping the predecessor) if any check fails.  A bug in a
+pass therefore degrades optimization, never correctness.
+
+Checks:
+
+- **globals-init** — the persistent-state contract is untouched;
+- **structure** — the candidate still passes structural validation
+  (unique sites, acyclic, no unbound reads given the declared inputs);
+- **inputs** — the candidate requires no input the original did not
+  (optimizer temporaries are assigned, so they never appear free);
+- **effects-globals** / **effects-locals** — the syntactic may-write
+  sets shrink or stay equal, modulo ``__opt_*`` temporaries;
+- **counted-sites** — the feature-observation set, as (site, node-kind)
+  pairs, is exactly preserved: predictions must see identical feature
+  vectors;
+- **cost-bound** — the worst-case cycle bound from the interval cost
+  engine (cross-job-sound entry state) never increases.  A relative
+  tolerance of 1e-12 absorbs the analyzer's own float regrouping when
+  blocks merge; runtime cost equality is separately enforced bit-exactly
+  by the differential tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.programs.analysis.diagnostics import Diagnostic
+from repro.programs.analysis.effects import effect_report
+from repro.programs.ir import Hint, If, IndirectCall, Loop, Program, While, walk
+from repro.programs.opt.rewrite import (
+    OPT_TEMP_PREFIX,
+    OptContext,
+    sound_cost_bound,
+)
+from repro.programs.validate import free_variables, validate_program
+
+__all__ = [
+    "CheckResult",
+    "counted_signature",
+    "validate_rewrite",
+    "rewrite_diagnostics",
+    "COST_REL_TOL",
+    "COST_ABS_TOL",
+]
+
+_COUNTED_NODES = (If, Loop, While, IndirectCall, Hint)
+
+#: Tolerances for the static cost-bound comparison (see module doc).
+COST_REL_TOL = 1e-12
+COST_ABS_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One validator check: name, verdict, and evidence."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CheckResult":
+        return cls(
+            name=data["name"],
+            ok=bool(data["ok"]),
+            detail=data.get("detail", ""),
+        )
+
+
+def counted_signature(program: Program) -> frozenset[tuple[str, str]]:
+    """The feature-observation set: (site, node kind) of counted nodes."""
+    return frozenset(
+        (node.site, type(node).__name__)
+        for node in walk(program.body)
+        if isinstance(node, _COUNTED_NODES) and node.counted
+    )
+
+
+def _within_bound(after: float, before: float) -> bool:
+    return after <= before * (1.0 + COST_REL_TOL) + COST_ABS_TOL
+
+
+def validate_rewrite(
+    before: Program,
+    after: Program,
+    ctx: OptContext,
+    pass_name: str = "",
+) -> list[CheckResult]:
+    """Run every equivalence check; the rewrite is valid iff all pass."""
+    checks: list[CheckResult] = []
+
+    checks.append(
+        CheckResult(
+            "globals-init",
+            before.globals_init == after.globals_init,
+            "persistent global initial state must be identical",
+        )
+    )
+
+    try:
+        validate_program(after, inputs=ctx.input_names)
+        checks.append(CheckResult("structure", True))
+    except ValueError as exc:
+        checks.append(CheckResult("structure", False, str(exc)))
+
+    free_before = free_variables(before)
+    free_after = free_variables(after)
+    extra_inputs = free_after - free_before
+    checks.append(
+        CheckResult(
+            "inputs",
+            not extra_inputs,
+            f"new free variables: {sorted(extra_inputs)}"
+            if extra_inputs
+            else "",
+        )
+    )
+
+    eff_before = effect_report(before)
+    eff_after = effect_report(after)
+    extra_globals = eff_after.may_write_globals - eff_before.may_write_globals
+    checks.append(
+        CheckResult(
+            "effects-globals",
+            not extra_globals,
+            f"new global writes: {sorted(extra_globals)}"
+            if extra_globals
+            else "",
+        )
+    )
+    extra_locals = {
+        name
+        for name in eff_after.may_write_locals - eff_before.may_write_locals
+        if not name.startswith(OPT_TEMP_PREFIX)
+    }
+    checks.append(
+        CheckResult(
+            "effects-locals",
+            not extra_locals,
+            f"new non-temp local writes: {sorted(extra_locals)}"
+            if extra_locals
+            else "",
+        )
+    )
+
+    sig_before = counted_signature(before)
+    sig_after = counted_signature(after)
+    checks.append(
+        CheckResult(
+            "counted-sites",
+            sig_before == sig_after,
+            ""
+            if sig_before == sig_after
+            else (
+                f"lost: {sorted(sig_before - sig_after)}; "
+                f"gained: {sorted(sig_after - sig_before)}"
+            ),
+        )
+    )
+
+    cost_before = sound_cost_bound(before, ctx.input_ranges)
+    cost_after = sound_cost_bound(after, ctx.input_ranges)
+    instr_ok = _within_bound(cost_after.instructions, cost_before.instructions)
+    mem_ok = _within_bound(cost_after.mem_refs, cost_before.mem_refs)
+    checks.append(
+        CheckResult(
+            "cost-bound",
+            instr_ok and mem_ok,
+            (
+                f"instructions {cost_before.instructions} -> "
+                f"{cost_after.instructions}, mem_refs "
+                f"{cost_before.mem_refs} -> {cost_after.mem_refs}"
+            ),
+        )
+    )
+    return checks
+
+
+def rewrite_diagnostics(
+    pass_name: str, program: Program, checks: list[CheckResult]
+) -> list[Diagnostic]:
+    """Render failed checks as error diagnostics (pass ``opt.<name>``)."""
+    return [
+        Diagnostic(
+            pass_name=f"opt.{pass_name}",
+            severity="error",
+            site=check.name,
+            message=(
+                f"translation validation failed ({check.name}): "
+                f"{check.detail or 'property not preserved'}; "
+                "rewrite discarded"
+            ),
+            program=program.name,
+        )
+        for check in checks
+        if not check.ok
+    ]

@@ -272,9 +272,11 @@ _LOWER_IS_BETTER = (
     "alarm",
     "alert",
     "anomal",
+    "diagnostic",
     "energy",
     "time_s",
     "latency",
+    "rejected_certificates",
     "retarget",
     "bound_exceeded",
     "external_arms",
@@ -463,6 +465,15 @@ GATE_DEFAULT_METRICS = (
     # metrics (see BENCH_host_baseline.json).
     "host.jobs_per_sec",
     "host.us_per_job.total",
+    # Static-analysis lint roll-up (``repro lint --trace``); the counts
+    # are exact, so BENCH_lint_baseline.json pins them at zero drift.
+    # ``lint.workloads`` is neutral — a changed workload count means the
+    # lint runs are not comparable; the finding counters gate
+    # lower-is-better via the "diagnostic" direction token.
+    "lint.workloads",
+    "lint.diagnostics.error",
+    "lint.diagnostics.warning",
+    "lint.opt.rejected_certificates",
 )
 
 #: Tolerance written into generated baselines (a run re-simulated from

@@ -1,0 +1,42 @@
+"""Shared helper: bit-exact differential comparison of two programs.
+
+The optimizer's contract is that *everything the simulation observes*
+is identical — cycle and memory-time accumulators, every feature
+counter and call-address record, and the final persistent globals.  So
+the comparison here is plain ``==`` on all of it, no tolerances.
+"""
+
+from repro.programs.interpreter import Interpreter
+
+INTERP = Interpreter()
+
+
+def run_trace(program, jobs, isolated=False):
+    """Execute ``jobs`` back to back over persistent globals."""
+    globals_ = program.fresh_globals()
+    trace = []
+    for job in jobs:
+        if isolated:
+            result = INTERP.execute_isolated(program, job, globals_)
+        else:
+            result = INTERP.execute(program, job, globals_)
+        trace.append(
+            (
+                result.work.cycles,
+                result.work.mem_time_s,
+                dict(result.features.counters),
+                {
+                    site: list(addrs)
+                    for site, addrs in result.features.call_addresses.items()
+                },
+            )
+        )
+    return trace, globals_
+
+
+def assert_equivalent(original, optimized, jobs, isolated=False):
+    """Both programs produce bit-identical observable behaviour."""
+    trace_a, globals_a = run_trace(original, jobs, isolated=isolated)
+    trace_b, globals_b = run_trace(optimized, jobs, isolated=isolated)
+    assert trace_a == trace_b
+    assert globals_a == globals_b

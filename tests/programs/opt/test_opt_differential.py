@@ -1,0 +1,83 @@
+"""Differential runtime testing of the optimizer (satellite guarantee).
+
+Random IR programs (the certifier suite's generators) and every shipped
+workload run through ``optimize_program``; original and optimized must
+be bit-exact on outputs, feature vectors, and cycle counts — raw and
+instrumented, over persistent globals.
+"""
+
+import pytest
+from hypothesis import given
+
+from repro.pipeline.offline import profiled_input_ranges
+from repro.programs.instrument import Instrumenter
+from repro.programs.opt import optimize_program
+from repro.programs.slicer import Slicer
+from repro.workloads.registry import app_names, get_app
+
+from tests.programs.opt.helpers import assert_equivalent
+from tests.programs.test_random_programs import deep, program_and_inputs
+
+N_JOBS = 12
+
+
+class TestRandomProgramDifferential:
+    @deep
+    @given(pi=program_and_inputs())
+    def test_raw_program_bit_exact(self, pi):
+        program, inputs = pi
+        result = optimize_program(program)
+        assert result.validated
+        assert_equivalent(program, result.program, inputs)
+
+    @deep
+    @given(pi=program_and_inputs())
+    def test_instrumented_program_bit_exact(self, pi):
+        program, inputs = pi
+        inst = Instrumenter().instrument(program).program
+        result = optimize_program(inst)
+        assert result.validated
+        assert_equivalent(inst, result.program, inputs)
+
+    @deep
+    @given(pi=program_and_inputs())
+    def test_input_ranges_never_leak_into_rewrites(self, pi):
+        # input_ranges feed the cost-bound comparison only (fold_ranges
+        # stays off by default), so even a *wrong* declared range must
+        # not change behaviour for inputs outside it.
+        program, inputs = pi
+        result = optimize_program(
+            program, input_ranges={"in_a": (0.0, 1.0), "in_b": (0.0, 1.0)}
+        )
+        assert_equivalent(program, result.program, inputs)
+
+
+@pytest.mark.parametrize("name", app_names())
+class TestWorkloadDifferential:
+    def test_task_program_bit_exact(self, name):
+        app = get_app(name)
+        program = app.task.program
+        result = optimize_program(program)
+        assert result.validated
+        assert_equivalent(
+            program, result.program, app.inputs(N_JOBS, seed=11)
+        )
+
+    def test_instrumented_program_bit_exact(self, name):
+        app = get_app(name)
+        inst = Instrumenter().instrument(app.task.program).program
+        result = optimize_program(inst)
+        assert result.validated
+        assert_equivalent(inst, result.program, app.inputs(N_JOBS, seed=11))
+
+    def test_slice_bit_exact_in_isolation(self, name):
+        app = get_app(name)
+        inst = Instrumenter().instrument(app.task.program)
+        sl = Slicer().slice(inst)
+        inputs = app.inputs(N_JOBS, seed=11)
+        result = optimize_program(
+            sl.program,
+            input_ranges=profiled_input_ranges(inputs, widen=0.5),
+        )
+        assert result.validated
+        assert_equivalent(sl.program, result.program, inputs, isolated=True)

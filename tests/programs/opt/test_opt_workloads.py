@@ -1,0 +1,111 @@
+"""Optimizer x certifier interplay over the shipped workloads.
+
+Satellite guarantee: an optimized slice must still pass the full slice
+certifier, and the certified worst-case cost bound must never regress —
+the optimizer may only tighten (or match) what the governor schedules
+against.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.offline import build_controller, profiled_input_ranges
+from repro.programs.analysis import certify_slice
+from repro.programs.instrument import Instrumenter
+from repro.programs.opt import optimize_program
+from repro.programs.slicer import Slicer
+from repro.workloads.registry import app_names, get_app
+
+N_JOBS = 60
+
+
+def sliced_app(name):
+    app = get_app(name)
+    inst = Instrumenter().instrument(app.task.program)
+    sl = Slicer().slice(inst)
+    inputs = app.inputs(N_JOBS, seed=3)
+    names = frozenset().union(*(frozenset(job) for job in inputs))
+    ranges = profiled_input_ranges(inputs, widen=0.5)
+    return app, inst, sl, names, ranges
+
+
+@pytest.mark.parametrize("name", app_names())
+class TestOptimizedSlicesStillCertify:
+    def test_certifies_and_bound_never_regresses(self, name):
+        app, inst, sl, names, ranges = sliced_app(name)
+        base_cert = certify_slice(
+            inst,
+            sl,
+            input_names=names,
+            input_ranges=ranges,
+            waivers=app.certifier_waivers,
+        )
+        assert base_cert.certified
+
+        result = optimize_program(sl.program, input_ranges=ranges)
+        assert result.validated
+        opt_slice = dataclasses.replace(sl, program=result.program)
+        opt_cert = certify_slice(
+            inst,
+            opt_slice,
+            input_names=names,
+            input_ranges=ranges,
+            waivers=app.certifier_waivers,
+        )
+        assert opt_cert.certified, [d.format() for d in opt_cert.blocking]
+        slack = 1e-9 * abs(base_cert.cost_bound_instructions) + 1e-6
+        assert (
+            opt_cert.cost_bound_instructions
+            <= base_cert.cost_bound_instructions + slack
+        )
+        assert (
+            opt_cert.cost_bound_mem_refs
+            <= base_cert.cost_bound_mem_refs
+            + 1e-9 * abs(base_cert.cost_bound_mem_refs)
+            + 1e-6
+        )
+
+
+class TestPipelineOptimizeModes:
+    def test_optimize_slice_mode_produces_a_certified_controller(self):
+        controller = build_controller(
+            get_app("sha"),
+            config=PipelineConfig(
+                n_profile_jobs=40, switch_samples=2, optimize="slice"
+            ),
+        )
+        assert controller.certificate is not None
+        assert controller.certificate.certified
+
+    def test_optimize_mode_matches_baseline_behaviour(self):
+        # The optimizer flattens the slicer's Seq nesting (fewer host
+        # dispatches) but the optimized slice must stay bit-exact:
+        # same features, same cycle accumulators, over the same inputs.
+        from repro.programs.opt import node_count
+
+        from tests.programs.opt.helpers import assert_equivalent
+
+        app = get_app("sha")
+        base = build_controller(
+            app,
+            config=PipelineConfig(n_profile_jobs=40, switch_samples=2),
+        )
+        opted = build_controller(
+            app,
+            config=PipelineConfig(
+                n_profile_jobs=40, switch_samples=2, optimize="slice"
+            ),
+        )
+        assert node_count(opted.slice.program) <= node_count(
+            base.slice.program
+        )
+        assert_equivalent(
+            base.slice.program,
+            opted.slice.program,
+            app.inputs(20, seed=7),
+            isolated=True,
+        )
+        # The trained models are oblivious to the rewrite.
+        assert opted.predictor.needed_sites == base.predictor.needed_sites
