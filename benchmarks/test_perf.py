@@ -457,3 +457,73 @@ def test_perf_telemetry_enabled_overhead_bounded():
         f"enabled telemetry {t_enabled * 1e3:.1f} ms vs "
         f"no-op {t_noop * 1e3:.1f} ms"
     )
+
+
+def test_perf_energy_disabled_is_provably_noop():
+    """With attribution off, the ledger must not exist on the hot path.
+
+    The executor defaults to the :data:`NO_ENERGY_LEDGER` singleton and
+    guards every attribution site behind ``if self.energy.enabled:``, so
+    an unattributed run performs zero allocations attributable to
+    ``repro.telemetry.energy`` — the same tracemalloc proof the
+    watchdog and host-profiler guards use.
+    """
+    import tracemalloc
+
+    from repro.telemetry.energy import NO_ENERGY_LEDGER
+
+    assert NO_ENERGY_LEDGER.enabled is False
+    energy_file = __import__(
+        "repro.telemetry.energy", fromlist=["__file__"]
+    ).__file__
+    _smoke_run(telemetry=None, n_jobs=5)  # warm caches before tracing
+    tracemalloc.start()
+    try:
+        _smoke_run(telemetry=None, n_jobs=20)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    energy_allocs = snapshot.filter_traces(
+        [tracemalloc.Filter(True, energy_file)]
+    )
+    assert not energy_allocs.statistics("lineno"), (
+        "an unattributed run allocated inside repro.telemetry.energy: "
+        f"{energy_allocs.statistics('lineno')[:3]}"
+    )
+
+
+def test_perf_energy_ledger_overhead_bounded():
+    """An attached energy ledger must stay within 2x of the bare run.
+
+    Attribution costs one dict upsert per power segment plus a few
+    float adds; doubling the smoke run means the observe path grew an
+    accidental hot loop (e.g. re-walking the timeline per job).
+    """
+    from repro.governors.interactive import InteractiveGovernor
+    from repro.runtime import TaskLoopRunner
+    from repro.telemetry.energy import EnergyLedger
+
+    app = get_app("sha")
+
+    def run_attributed():
+        board = Board(opps=OPPS)
+        ledger = EnergyLedger(board.power, board.opps)
+        runner = TaskLoopRunner(
+            board,
+            app.task,
+            InteractiveGovernor(OPPS),
+            app.inputs(50, seed=0),
+            energy=ledger,
+        )
+        runner.run()
+        return ledger, board
+
+    t_bare = best_of(lambda: _smoke_run(telemetry=None))
+    t_attributed = best_of(run_attributed)
+    ledger, board = run_attributed()
+    assert ledger.state().jobs == 50, "ledger must count every job"
+    assert ledger.check_conservation(board) <= 1e-9
+    assert t_attributed < 2.0 * max(t_bare, 1e-4), (
+        f"attributed run {t_attributed * 1e3:.1f} ms vs "
+        f"bare {t_bare * 1e3:.1f} ms"
+    )

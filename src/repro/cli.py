@@ -99,6 +99,9 @@ def _list_experiments() -> str:
     lines.append("  profile  host-side performance profile of the simulator "
                  "itself: phase timings, flamegraph, hotspot table "
                  "(repro profile --help)")
+    lines.append("  energy   conservation-checked per-job/phase/OPP energy "
+                 "attribution with a live savings estimate "
+                 "(repro energy --help)")
     return "\n".join(lines)
 
 
@@ -122,6 +125,8 @@ def main(argv: list[str] | None = None) -> int:
         return _diff_decisions_command(raw[1:])
     if raw and raw[0] == "profile":
         return _profile_command(raw[1:])
+    if raw and raw[0] == "energy":
+        return _energy_command(raw[1:])
     if raw and raw[0] == "fleet":
         from repro.fleet.cli import fleet_command
 
@@ -1053,6 +1058,167 @@ def _profile_command(argv: list[str]) -> int:
     print(
         f"[profile: {len(written)} file(s) -> {args.out}]", file=sys.stderr
     )
+    return 0
+
+
+def _energy_command(argv: list[str]) -> int:
+    """``repro energy APP`` — attribute a run's joules, check conservation.
+
+    Runs one workload with the energy ledger subscribed to the board's
+    segment stream, prints the per-phase/per-OPP attribution, the top-N
+    energy-hungriest jobs, and the live normalized saving vs. the
+    embedded performance-governor counterfactual, then verifies the
+    conservation invariant (attributed cells == ``board.energy_j()``
+    within 1e-9).  ``--trace`` writes ``energy.<app>.<governor>.
+    {energy.json,metrics.json}`` — the metrics file feeds ``repro
+    report --gate BENCH_energy_baseline.json --runs energy.``.  Exit
+    codes: 0 ok, 1 conservation violated, 2 bad input.
+    """
+    import zlib
+
+    from repro.pipeline.config import PipelineConfig
+    from repro.platform.board import Board
+    from repro.platform.jitter import LogNormalJitter, NoJitter
+    from repro.platform.switching import SwitchLatencyModel
+    from repro.runtime.executor import TaskLoopRunner
+    from repro.telemetry.energy import (
+        CONSERVATION_TOL_J,
+        EnergyLedger,
+        energy_metrics,
+        render_energy,
+        render_energy_cells,
+        write_energy_report,
+    )
+    from repro.telemetry.provenance import result_json
+    from repro.workloads.registry import app_names
+
+    parser = argparse.ArgumentParser(
+        prog="repro energy",
+        description=(
+            "Energy attribution ledger for one simulated run: splits the "
+            "board's exact power-timeline integral into per-job x "
+            "per-phase (predict/switch/execute/idle/feedback) x per-OPP "
+            "cells, checks the conservation invariant against "
+            "board.energy_j(), and reports the normalized saving vs. an "
+            "embedded performance-governor counterfactual — the paper's "
+            "Fig. 15 headline as a continuously observed metric."
+        ),
+    )
+    parser.add_argument("app", help="workload to attribute (see repro list)")
+    parser.add_argument(
+        "--governor",
+        default="prediction",
+        help="governor name (default: prediction)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=400, help="jobs in the attributed run"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="base evaluation seed"
+    )
+    parser.add_argument(
+        "--jitter", type=float, default=0.02, help="timing-noise sigma"
+    )
+    parser.add_argument(
+        "--profile-jobs",
+        type=int,
+        default=60,
+        help="jobs profiled per app when training the controller",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="top-N energy-hungriest jobs"
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="write energy.<app>.<governor>.{energy.json,metrics.json} "
+        "artifacts into DIR",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the energy state as strict JSON instead of text",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as error:
+        return int(error.code or 0)
+
+    if args.app not in app_names():
+        print(f"unknown workload: {args.app}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    lab = Lab(
+        jitter_sigma=args.jitter,
+        seed=args.seed,
+        pipeline_config=PipelineConfig(n_profile_jobs=args.profile_jobs),
+    )
+    app = lab.app(args.app)
+    governor = lab.make_governor(args.governor, args.app)
+    inputs = app.inputs(args.jobs, seed=lab.seed + 11)
+
+    # Same deterministic seeding scheme as `repro watch`/`repro profile`,
+    # so an attributed run reproduces exactly and can be baselined.
+    run_seed = zlib.crc32(
+        f"{lab.seed}|energy|{args.app}|{args.governor}".encode()
+    )
+    board = Board(
+        opps=lab.opps,
+        power=lab.power,
+        switcher=SwitchLatencyModel(lab.opps, seed=run_seed),
+    )
+    board.cpu.jitter = (
+        LogNormalJitter(lab.jitter_sigma, seed=run_seed)
+        if lab.jitter_sigma > 0
+        else NoJitter()
+    )
+
+    ledger = EnergyLedger(board.power, board.opps)
+    runner = TaskLoopRunner(
+        board=board,
+        task=app.task,
+        governor=governor,
+        inputs=inputs,
+        interpreter=lab.interpreter,
+        energy=ledger,
+    )
+    result = runner.run()
+    error_j = ledger.conservation_error_j(board.energy_j())
+    state = ledger.state()
+    run_name = f"energy.{args.app}.{args.governor}"
+
+    if args.trace is not None:
+        written = write_energy_report(
+            ledger, args.trace, run_name,
+            conservation_error_j=error_j, top_n=args.top,
+        )
+        print(
+            f"[energy: {len(written)} file(s) -> {args.trace}]",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(result_json(energy_metrics(state, error_j)))
+    else:
+        print(render_energy(state, title=run_name))
+        print()
+        print(render_energy_cells(ledger, top_n=args.top))
+        print(
+            f"\nsimulated run underneath: {result.n_jobs} jobs, "
+            f"{result.n_missed} missed, {result.energy_j:.3f} J"
+        )
+        print(f"conservation error: {error_j:.3e} J "
+              f"(tolerance {CONSERVATION_TOL_J:.0e})")
+    if error_j > CONSERVATION_TOL_J:
+        print(
+            f"CONSERVATION VIOLATED: attributed energy misses "
+            f"board.energy_j() by {error_j:.3e} J",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

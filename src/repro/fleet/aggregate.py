@@ -28,6 +28,7 @@ from functools import reduce
 
 from repro.fleet.session import SessionResult
 from repro.fleet.tenant import TenantSpec
+from repro.telemetry.energy import EnergyState, merge_energy
 from repro.telemetry.metrics import percentile
 from repro.telemetry.slo import SloTrackerState, merge_states
 
@@ -130,6 +131,9 @@ class TenantRollup:
         slack_p50_s / slack_p95_s: Percentiles over every job's slack.
         slo: Merged accounting per spec, in spec order.
         objective: The tenant's page miss objective (budget weighting).
+        energy: Merged energy-attribution state (phase/OPP marginals,
+            counterfactual), present when the fleet ran with
+            attribution on; None otherwise.
     """
 
     name: str
@@ -145,6 +149,7 @@ class TenantRollup:
     slack_p95_s: float
     slo: tuple[SloRollup, ...]
     objective: float
+    energy: EnergyState | None = None
 
     @property
     def worst_budget_consumed(self) -> float:
@@ -171,6 +176,7 @@ class TenantRollup:
             "slack_p95_s": self.slack_p95_s,
             "objective": self.objective,
             "slo": [r.as_dict() for r in self.slo],
+            "energy": None if self.energy is None else self.energy.as_dict(),
         }
 
 
@@ -195,6 +201,14 @@ class FleetReport:
         page_alerts / ticket_alerts: Alert totals by severity.
         top_k: Worst tenants by page budget consumed (name order breaks
             ties), at most K entries.
+        energy: Fleet-wide merged energy-attribution state (folded from
+            the tenant roll-ups in roster order), present only when the
+            fleet ran with attribution on.  Conservation holds at this
+            level too: its ``total_j`` equals the per-tenant ledgers'
+            sum, each of which was checked against its board.
+        energy_top_k: Most energy-hungry tenants ranked by attributed
+            joules (name order breaks ties), at most K entries; empty
+            when attribution was off.
     """
 
     seed: int
@@ -212,6 +226,8 @@ class FleetReport:
     page_alerts: int
     ticket_alerts: int
     top_k: tuple[str, ...]
+    energy: EnergyState | None = None
+    energy_top_k: tuple[str, ...] = ()
 
     def as_dict(self) -> dict:
         return {
@@ -229,6 +245,8 @@ class FleetReport:
             "page_alerts": self.page_alerts,
             "ticket_alerts": self.ticket_alerts,
             "top_k": list(self.top_k),
+            "energy": None if self.energy is None else self.energy.as_dict(),
+            "energy_top_k": list(self.energy_top_k),
             "tenants": [t.as_dict() for t in self.tenants],
         }
 
@@ -252,6 +270,45 @@ class FleetReport:
                 )
             )
         return rows
+
+    def _energy_tenant_rows(self) -> list[tuple]:
+        by_name = {t.name: t for t in self.tenants}
+        rows = []
+        for rank, name in enumerate(self.energy_top_k, start=1):
+            t = by_name[name]
+            state = t.energy
+            assert state is not None  # ranked only when attribution ran
+            savings = state.savings_frac
+            rows.append(
+                (
+                    rank,
+                    name,
+                    f"{state.total_j:.3f}",
+                    f"{state.j_per_job * 1e3:.3f}",
+                    f"{100 * savings:.1f}%" if savings == savings else "-",
+                    f"{state.phase_j('execute'):.3f}",
+                    f"{state.phase_j('idle'):.3f}",
+                )
+            )
+        return rows
+
+    def _energy_summary(self, sep: str) -> str:
+        """One-line fleet energy roll-up, with ``sep`` between fields."""
+        state = self.energy
+        assert state is not None
+        savings = state.savings_frac
+        fields = [
+            f"attributed {state.total_j:.3f} J",
+            f"counterfactual {state.counterfactual_j:.3f} J",
+            (
+                f"savings {100 * savings:.1f}%"
+                if savings == savings
+                else "savings -"
+            ),
+            f"J/job {state.j_per_job * 1e3:.3f} mJ",
+            f"overlap {state.overlap_j * 1e3:.3f} mJ",
+        ]
+        return sep.join(fields)
 
     def render_text(self) -> str:
         """Plain-text report (the CLI default)."""
@@ -303,6 +360,21 @@ class FleetReport:
                 title=f"top-{len(self.top_k)} worst tenants",
             )
         )
+        if self.energy is not None:
+            sections.append(
+                "energy attribution: " + self._energy_summary("  ")
+            )
+            sections.append(
+                _table(
+                    ["#", "tenant", "energy[J]", "J/job[mJ]", "savings",
+                     "execute[J]", "idle[J]"],
+                    self._energy_tenant_rows(),
+                    title=(
+                        f"top-{len(self.energy_top_k)} energy-hungry "
+                        "tenants (savings vs performance governor)"
+                    ),
+                )
+            )
         return "\n\n".join(sections)
 
     def render_markdown(self) -> str:
@@ -362,6 +434,24 @@ class FleetReport:
                 self._top_k_rows(),
             ),
         ]
+        if self.energy is not None:
+            parts.extend(
+                [
+                    "",
+                    "## Energy attribution",
+                    "- " + self._energy_summary("\n- "),
+                    "",
+                    (
+                        f"### Top-{len(self.energy_top_k)} energy-hungry "
+                        "tenants"
+                    ),
+                    md_table(
+                        ["#", "tenant", "energy [J]", "J/job [mJ]",
+                         "savings", "execute [J]", "idle [J]"],
+                        self._energy_tenant_rows(),
+                    ),
+                ]
+            )
         return "\n".join(parts)
 
 
@@ -379,6 +469,11 @@ def _merge_tenant(
     slacks = [s for r in results for s in r.slacks_s]
     jobs = sum(r.jobs for r in results)
     misses = sum(r.misses for r in results)
+    energy = None
+    if all(r.energy_state is not None for r in results):
+        # Canonical (session index) fold order keeps the float sums
+        # bit-identical for every shard partitioning.
+        energy = reduce(merge_energy, (r.energy_state for r in results))
     return TenantRollup(
         name=tenant.name,
         app=tenant.app,
@@ -396,6 +491,7 @@ def _merge_tenant(
             for state in merged_states
         ),
         objective=tenant.miss_objective,
+        energy=energy,
     )
 
 
@@ -459,6 +555,17 @@ def aggregate_fleet(
         rollups,
         key=lambda t: (-t.worst_budget_consumed, -t.misses, t.name),
     )
+
+    fleet_energy = None
+    energy_top_k: tuple[str, ...] = ()
+    if all(t.energy is not None for t in rollups):
+        # Roster-order fold mirrors the per-tenant session fold, so the
+        # fleet state is the same bytes however the fleet was sharded.
+        fleet_energy = reduce(merge_energy, (t.energy for t in rollups))
+        hungry = sorted(
+            rollups, key=lambda t: (-t.energy.total_j, t.name)
+        )
+        energy_top_k = tuple(t.name for t in hungry[: max(top_k, 0)])
     return FleetReport(
         seed=seed,
         tenants=tuple(rollups),
@@ -480,6 +587,8 @@ def aggregate_fleet(
             if slo.severity == "ticket"
         ),
         top_k=tuple(t.name for t in ranked[: max(top_k, 0)]),
+        energy=fleet_energy,
+        energy_top_k=energy_top_k,
     )
 
 
@@ -492,7 +601,28 @@ def fleet_metrics(report: FleetReport) -> dict:
     :func:`repro.telemetry.report.metric_direction`: ``fleet.misses`` /
     ``fleet.*_alerts`` / ``fleet.energy_j`` gate lower-is-better,
     ``fleet.slack_*`` higher-is-better, counts gate as neutral drift.
+    With attribution on, the attributed roll-up additionally exports
+    ``fleet.energy_attributed_j`` / ``fleet.energy_j_per_job``
+    (lower-is-better) and ``fleet.energy_savings_frac``
+    (higher-is-better — "savings" outranks "energy" in the direction
+    table).
     """
+    gauges = {
+        "fleet.energy_j": report.energy_j,
+        "fleet.miss_rate": report.miss_rate,
+        "fleet.budget_consumed": report.budget_consumed,
+        "fleet.slack_p50_s": report.slack_p50_s,
+        "fleet.slack_p95_s": report.slack_p95_s,
+    }
+    if report.energy is not None:
+        state = report.energy
+        gauges["fleet.energy_attributed_j"] = state.total_j
+        gauges["fleet.energy_counterfactual_j"] = state.counterfactual_j
+        if state.jobs:
+            gauges["fleet.energy_j_per_job"] = state.j_per_job
+        savings = state.savings_frac
+        if savings == savings:
+            gauges["fleet.energy_savings_frac"] = savings
     return {
         "counters": {
             "fleet.sessions": report.sessions,
@@ -502,12 +632,6 @@ def fleet_metrics(report: FleetReport) -> dict:
             "fleet.page_alerts": report.page_alerts,
             "fleet.ticket_alerts": report.ticket_alerts,
         },
-        "gauges": {
-            "fleet.energy_j": report.energy_j,
-            "fleet.miss_rate": report.miss_rate,
-            "fleet.budget_consumed": report.budget_consumed,
-            "fleet.slack_p50_s": report.slack_p50_s,
-            "fleet.slack_p95_s": report.slack_p95_s,
-        },
+        "gauges": gauges,
         "histograms": {},
     }

@@ -176,6 +176,12 @@ def _run_command(argv: list[str]) -> int:
         "(host.fleet.<name>.* artifacts under --trace; never touches "
         "the deterministic report)",
     )
+    parser.add_argument(
+        "--energy", action="store_true",
+        help="attribute every session's joules with conservation-checked "
+        "ledgers and add per-tenant/fleet energy sections to the report "
+        "(deterministic: byte-identical across shard/worker counts)",
+    )
     try:
         args = parser.parse_args(argv)
     except SystemExit as error:
@@ -195,6 +201,7 @@ def _run_command(argv: list[str]) -> int:
             shards=args.shards,
             top_k=args.top_k,
             profile_jobs=args.profile_jobs,
+            energy=args.energy,
         )
     except (ValueError, FileNotFoundError) as error:
         print(str(error), file=sys.stderr)
@@ -318,6 +325,11 @@ def _report_command(argv: list[str]) -> int:
 def _report_from_dict(data: dict):
     """Rebuild a renderable FleetReport from its as_dict() JSON."""
     from repro.fleet.aggregate import FleetReport, SloRollup, TenantRollup
+    from repro.telemetry.energy import EnergyState
+
+    def energy_state(payload):
+        # Absent or null in pre-attribution reports -> None.
+        return None if payload is None else EnergyState.from_dict(payload)
 
     tenants = tuple(
         TenantRollup(
@@ -352,6 +364,7 @@ def _report_from_dict(data: dict):
                 )
                 for s in t["slo"]
             ),
+            energy=energy_state(t.get("energy")),
         )
         for t in data["tenants"]
     )
@@ -371,4 +384,6 @@ def _report_from_dict(data: dict):
         page_alerts=int(data["page_alerts"]),
         ticket_alerts=int(data["ticket_alerts"]),
         top_k=tuple(data["top_k"]),
+        energy=energy_state(data.get("energy")),
+        energy_top_k=tuple(data.get("energy_top_k", ())),
     )

@@ -44,6 +44,11 @@ class FleetSpec:
         top_k: Worst-tenant table length.
         profile_jobs / switch_samples: Controller build size (see
             :class:`~repro.fleet.session.FleetBuild`).
+        energy: Attribute every session's joules (conservation-checked
+            per-session ledgers, rolled up per tenant and fleet-wide in
+            the report's energy section).  Deterministic given
+            ``(tenants, seed)``, so the byte-identical-report contract
+            extends to attribution-enabled runs.
     """
 
     tenants: tuple[TenantSpec, ...]
@@ -52,6 +57,7 @@ class FleetSpec:
     top_k: int = 5
     profile_jobs: int = 60
     switch_samples: int = 60
+    energy: bool = False
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -124,7 +130,8 @@ def run_fleet(
     if workers < 1:
         raise ValueError(f"need >= 1 worker, got {workers}")
     plans = plan_shards(
-        spec.tenants, spec.shards, spec.build, profile=profile
+        spec.tenants, spec.shards, spec.build, profile=profile,
+        energy=spec.energy,
     )
     _prewarm(spec)
     workers = min(workers, len(plans))

@@ -31,6 +31,7 @@ from repro.platform.jitter import LogNormalJitter, NoJitter
 from repro.platform.switching import SwitchLatencyModel
 from repro.runtime.executor import TaskLoopRunner
 from repro.telemetry import NO_TELEMETRY
+from repro.telemetry.energy import EnergyLedger, EnergyState
 from repro.telemetry.hostprof import HostProfiler
 from repro.telemetry.slo import (
     JobObservation,
@@ -95,6 +96,9 @@ class SessionResult:
             percentile roll-ups need the raw values).
         slo_states: One mergeable tracker snapshot per tenant SLO spec,
             in spec order.
+        energy_state: Mergeable energy-attribution snapshot, present
+            when the fleet ran with attribution on (``--energy``);
+            None otherwise.
     """
 
     tenant: str
@@ -106,6 +110,7 @@ class SessionResult:
     makespan_s: float
     slacks_s: tuple[float, ...]
     slo_states: tuple[SloTrackerState, ...]
+    energy_state: EnergyState | None = None
 
 
 class Session:
@@ -119,6 +124,12 @@ class Session:
             (``fleet run --profile``).  Purely observational: it
             touches no seed path, so profiled and unprofiled fleets
             produce byte-identical reports.
+        energy: When True, attribute this session's joules with a
+            per-session :class:`~repro.telemetry.energy.EnergyLedger`
+            (``fleet run --energy``).  Also purely observational — the
+            ledger only watches the board's segment stream — so fleet
+            reports stay byte-identical across shard/worker counts
+            whether attribution is on or off.
     """
 
     def __init__(
@@ -127,6 +138,7 @@ class Session:
         index: int,
         build: FleetBuild,
         hostprof: HostProfiler | None = None,
+        energy: bool = False,
     ):
         self.tenant = tenant
         self.index = index
@@ -164,6 +176,9 @@ class Session:
         else:
             board.cpu.jitter = base
 
+        self.energy_ledger = (
+            EnergyLedger(board.power, board.opps) if energy else None
+        )
         self.runner = TaskLoopRunner(
             board=board,
             task=app.task.with_budget(budget),
@@ -175,6 +190,7 @@ class Session:
             interpreter=lab.interpreter,
             telemetry=NO_TELEMETRY,
             hostprof=hostprof,
+            energy=self.energy_ledger,
         )
         self.trackers = tuple(
             SloTracker(spec)
@@ -215,6 +231,12 @@ class Session:
 
     def result(self) -> SessionResult:
         run = self.runner.result()
+        energy_state = None
+        if self.energy_ledger is not None:
+            # The invariant is cheap to enforce on every session, so a
+            # leaking attribution path can never reach the roll-up.
+            self.energy_ledger.check_conservation(self.runner.board)
+            energy_state = self.energy_ledger.state()
         return SessionResult(
             tenant=self.tenant.name,
             index=self.index,
@@ -225,6 +247,7 @@ class Session:
             makespan_s=self._finished_at,
             slacks_s=tuple(job.slack_s for job in run.jobs),
             slo_states=tuple(tracker.state() for tracker in self.trackers),
+            energy_state=energy_state,
         )
 
 

@@ -51,6 +51,11 @@ class ShardPlan:
             seed path, so the session results are identical either
             way; the profile comes back in
             :attr:`ShardResult.host_profile`.
+        energy: Attribute every session's joules with a per-session
+            energy ledger (conservation-checked).  Observational like
+            ``profile``: no seed path, identical session results, the
+            states ride back on each
+            :attr:`~repro.fleet.session.SessionResult.energy_state`.
     """
 
     index: int
@@ -59,6 +64,7 @@ class ShardPlan:
     tenants: tuple[TenantSpec, ...]
     assignments: tuple[tuple[str, int], ...]
     profile: bool = False
+    energy: bool = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.index < self.n_shards:
@@ -92,6 +98,7 @@ def plan_shards(
     n_shards: int,
     build: FleetBuild,
     profile: bool = False,
+    energy: bool = False,
 ) -> tuple[ShardPlan, ...]:
     """Split a fleet round-robin across ``n_shards`` shards.
 
@@ -114,6 +121,7 @@ def plan_shards(
             tenants=tuple(tenants),
             assignments=tuple(roster[shard::n_shards]),
             profile=profile,
+            energy=energy,
         )
         for shard in range(n_shards)
     )
@@ -150,6 +158,7 @@ def run_shard(plan: ShardPlan) -> ShardResult:
                     session_index,
                     plan.build,
                     hostprof=hostprof,
+                    energy=plan.energy,
                 )
             )
         if hostprof is not None:

@@ -162,6 +162,9 @@ class Governor(ABC):
                 mode=mode,
                 features=dict(features) if features is not None else {},
                 beta_generation=beta_generation,
+                # O(1) timeline-accumulator read: the audit log becomes
+                # an energy trajectory at no extra simulation cost.
+                energy_j=ctx.board.energy_j(),
                 attribution=attribution,
                 ladder=tuple(ladder),
             )

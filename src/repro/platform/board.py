@@ -58,6 +58,20 @@ class Board:
         self.timeline = Timeline()
         self._opp = initial_opp if initial_opp is not None else self.opps.fmax
         self.switch_count = 0
+        self._observer = None
+
+    def set_segment_observer(self, observer) -> None:
+        """Attach a callback invoked for every appended power segment.
+
+        The observer is called as ``observer(segment, opp_index)`` right
+        after the segment lands on the timeline, where ``opp_index`` is
+        the operating point the energy attributes to — the level the
+        segment ran at, or, for a DVFS switch (whose power is the mean
+        across the transition), the *destination* level.  This is the
+        attribution hook the energy ledger subscribes to; it must not
+        mutate the board.  Pass ``None`` to detach.
+        """
+        self._observer = observer
 
     @property
     def now(self) -> float:
@@ -72,9 +86,12 @@ class Board:
     def _record(self, duration_s: float, activity: float, tag: str) -> None:
         start = self.clock.now
         end = self.clock.advance(duration_s)
-        self.timeline.append(
-            PowerSegment(start, end, self.power.power(self._opp, activity), tag)
+        segment = PowerSegment(
+            start, end, self.power.power(self._opp, activity), tag
         )
+        self.timeline.append(segment)
+        if self._observer is not None:
+            self._observer(segment, self._opp.index)
 
     def execute(self, work: Work, tag: str = "job") -> float:
         """Run ``work`` to completion at the current OPP; returns seconds."""
@@ -105,9 +122,14 @@ class Board:
         end_power = self.power.power(target, activity=0.3)
         start = self.clock.now
         end = self.clock.advance(latency)
-        self.timeline.append(
-            PowerSegment(start, end, (start_power + end_power) / 2.0, tag)
+        segment = PowerSegment(
+            start, end, (start_power + end_power) / 2.0, tag
         )
+        self.timeline.append(segment)
+        if self._observer is not None:
+            # A switch spans two levels; attribute it to the destination
+            # (the level the energy was spent getting to).
+            self._observer(segment, target.index)
         self._opp = target
         self.switch_count += 1
         return latency

@@ -49,10 +49,24 @@ class PowerSegment:
 
 
 class Timeline:
-    """An append-only, time-ordered record of power segments."""
+    """An append-only, time-ordered record of power segments.
+
+    Energy and time totals are maintained as running accumulators
+    updated on :meth:`append`, so :meth:`total_energy_j` is O(1)
+    instead of O(segments) — callers (the executor's per-job metrics,
+    the SLO watchdog, decision audits) read the total once per job,
+    which used to make a run quadratic in its segment count.  The
+    accumulators fold segment energies in append order starting from
+    0.0, exactly the fold ``sum()`` over the segment list performs, so
+    the totals are bit-identical to recomputing them.
+    """
 
     def __init__(self):
         self._segments: list[PowerSegment] = []
+        self._energy_by_tag: dict[str, float] = {}
+        self._time_by_tag: dict[str, float] = {}
+        self._total_energy_j = 0.0
+        self._total_time_s = 0.0
 
     def append(self, segment: PowerSegment) -> None:
         """Add a segment; must start exactly where the previous one ended."""
@@ -62,6 +76,13 @@ class Timeline:
                 f"segment ending at {self._segments[-1].end_s}"
             )
         self._segments.append(segment)
+        energy = segment.energy_j
+        duration = segment.duration_s
+        tag = segment.tag
+        self._energy_by_tag[tag] = self._energy_by_tag.get(tag, 0.0) + energy
+        self._time_by_tag[tag] = self._time_by_tag.get(tag, 0.0) + duration
+        self._total_energy_j += energy
+        self._total_time_s += duration
 
     @property
     def segments(self) -> tuple[PowerSegment, ...]:
@@ -72,17 +93,25 @@ class Timeline:
         """Time at which the last segment ends (0 when empty)."""
         return self._segments[-1].end_s if self._segments else 0.0
 
+    def tags(self) -> tuple[str, ...]:
+        """Every distinct tag recorded so far, in first-seen order."""
+        return tuple(self._energy_by_tag)
+
+    def energy_by_tag(self) -> dict[str, float]:
+        """Exact energy per tag; values sum to :meth:`total_energy_j`."""
+        return dict(self._energy_by_tag)
+
     def total_energy_j(self, tag: str | None = None) -> float:
         """Exact energy integral; restricted to one tag if given."""
-        return sum(
-            s.energy_j for s in self._segments if tag is None or s.tag == tag
-        )
+        if tag is None:
+            return self._total_energy_j
+        return self._energy_by_tag.get(tag, 0.0)
 
     def total_time_s(self, tag: str | None = None) -> float:
         """Total duration covered by segments (optionally one tag)."""
-        return sum(
-            s.duration_s for s in self._segments if tag is None or s.tag == tag
-        )
+        if tag is None:
+            return self._total_time_s
+        return self._time_by_tag.get(tag, 0.0)
 
     def power_at(self, t_s: float) -> float:
         """Instantaneous power at time ``t_s`` (0 outside all segments)."""

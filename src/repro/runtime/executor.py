@@ -34,6 +34,7 @@ from repro.runtime.placement import PredictorPlacement
 from repro.runtime.records import JobRecord, RunResult
 from repro.runtime.task import Task
 from repro.telemetry import NO_TELEMETRY, DecisionRecord, Telemetry
+from repro.telemetry.energy import NO_ENERGY_LEDGER, EnergyLedger
 from repro.telemetry.hostprof import NO_HOSTPROF, HostProfiler
 
 __all__ = ["TaskLoopRunner"]
@@ -73,6 +74,12 @@ class TaskLoopRunner:
             Deadlines stay ``arrival + budget_s`` either way, so a
             burst that outruns the processor queues jobs and eats into
             their budgets exactly like a congested interactive session.
+        energy: Per-job x per-phase x per-OPP energy attribution ledger
+            (:class:`~repro.telemetry.energy.EnergyLedger`).  The runner
+            subscribes it to the board's segment stream and marks job /
+            feedback boundaries and predictor-overlap energy; the ledger
+            then satisfies its conservation invariant against
+            ``board.energy_j()``.  Defaults to the zero-cost no-op.
     """
 
     def __init__(
@@ -90,6 +97,7 @@ class TaskLoopRunner:
         telemetry: Telemetry | None = None,
         arrivals: Sequence[float] | None = None,
         hostprof: HostProfiler | None = None,
+        energy: EnergyLedger | None = None,
     ):
         if not inputs:
             raise ValueError("need at least one job input")
@@ -105,6 +113,7 @@ class TaskLoopRunner:
         self.provide_oracle_work = provide_oracle_work
         self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
         self.hostprof = hostprof if hostprof is not None else NO_HOSTPROF
+        self.energy = energy if energy is not None else NO_ENERGY_LEDGER
         self.arrivals = self._validated_arrivals(arrivals)
         self._init_run_state()
 
@@ -155,6 +164,7 @@ class TaskLoopRunner:
         governor: Governor | None = None,
         telemetry: Telemetry | None = None,
         hostprof: HostProfiler | None = None,
+        energy: EnergyLedger | None = None,
     ) -> None:
         """Return the runner to its pre-run state so it can run again.
 
@@ -179,6 +189,8 @@ class TaskLoopRunner:
             self.telemetry = telemetry
         if hostprof is not None:
             self.hostprof = hostprof
+        if energy is not None:
+            self.energy = energy
         if arrivals is not None or inputs is not None:
             self.arrivals = self._validated_arrivals(arrivals)
         self._init_run_state()
@@ -211,6 +223,10 @@ class TaskLoopRunner:
         if self._started:
             return
         self._started = True
+        if self.energy.enabled:
+            # Attach here (not __init__) so a reset() with a fresh board
+            # re-subscribes the ledger to the board actually being run.
+            self.board.set_segment_observer(self.energy.observe)
         telemetry = self.telemetry
         self.governor.bind_telemetry(telemetry)
         self.governor.bind_hostprof(self.hostprof)
@@ -240,6 +256,9 @@ class TaskLoopRunner:
         index = self._next_index
         self._next_index += 1
         arrival = self.arrival_s(index)
+        if self.energy.enabled:
+            # The release wait belongs to the job being waited for.
+            self.energy.begin_job(index)
         telemetry = self.telemetry
         wait_from = self.board.now
         self._wait_for_arrival(arrival)
@@ -266,7 +285,12 @@ class TaskLoopRunner:
             tag: self.board.energy_j(tag)
             for tag in ("job", "predictor", "switch", "idle")
         }
-        energy_by_tag["predictor"] += self._overlap_energy_j
+        # Overlapped predictor energy (pipelined/parallel placements) is
+        # off-timeline; report it under its own tag rather than silently
+        # folding it into "predictor", so the breakdown still sums to
+        # energy_j while staying attributable.
+        if self._overlap_energy_j > 0.0:
+            energy_by_tag["predictor_overlap"] = self._overlap_energy_j
         return RunResult(
             governor=self.governor.name,
             app=self.task.name,
@@ -393,6 +417,7 @@ class TaskLoopRunner:
                             if decision is not None
                             else float("nan")
                         ),
+                        energy_j=board.energy_j(),
                     )
                 )
         target = decision.opp if decision is not None else self._restore_opp
@@ -456,7 +481,14 @@ class TaskLoopRunner:
             adaptation_time = board.cpu.execution_time(
                 feedback_work, board.current_opp
             )
-            board.busy_run(adaptation_time, tag="predictor")
+            if self.energy.enabled:
+                # Post-job adaptation shares the "predictor" timeline tag
+                # with decision slices; the flag disambiguates the phase.
+                self.energy.begin_feedback()
+                board.busy_run(adaptation_time, tag="predictor")
+                self.energy.end_feedback()
+            else:
+                board.busy_run(adaptation_time, tag="predictor")
             record = dataclasses.replace(
                 record, adaptation_time_s=adaptation_time
             )
@@ -518,6 +550,10 @@ class TaskLoopRunner:
         # Cumulative energy as a gauge: the last write is the run total,
         # which the metrics regression gate compares across commits.
         metrics.gauge("executor.energy_j").set(self.board.energy_j())
+        if self._overlap_energy_j > 0:
+            metrics.gauge("executor.predictor_overlap_j").set(
+                self._overlap_energy_j
+            )
 
     def _decide(
         self, ctx: JobContext, work: Work, jitter: float
@@ -545,9 +581,12 @@ class TaskLoopRunner:
             # The slice ran during the previous job: no budget impact, but
             # its energy was still spent (on overlapped cycles).
             if self.charge_predictor:
-                self._overlap_energy_j += (
+                overlap = (
                     board.power.power(board.current_opp, 1.0) * slice_time
                 )
+                self._overlap_energy_j += overlap
+                if self.energy.enabled:
+                    self.energy.add_overlap(overlap)
                 budget = (
                     ctx.deadline_s
                     - board.now
@@ -562,9 +601,10 @@ class TaskLoopRunner:
             partial, _, remaining = self._execute_work(
                 work, jitter, max_duration=slice_time
             )
-            self._overlap_energy_j += (
-                board.power.power(board.current_opp, 1.0) * slice_time
-            )
+            overlap = board.power.power(board.current_opp, 1.0) * slice_time
+            self._overlap_energy_j += overlap
+            if self.energy.enabled:
+                self.energy.add_overlap(overlap)
             budget = (
                 ctx.deadline_s - board.now - governor.switch_estimate_s(ctx)
             )

@@ -25,6 +25,7 @@ from repro.programs.expr import Value
 from repro.programs.interpreter import Interpreter
 from repro.runtime.records import JobRecord, RunResult
 from repro.runtime.task import Task
+from repro.telemetry.energy import NO_ENERGY_LEDGER, EnergyLedger
 
 __all__ = ["TaskStream", "MultiTaskRunner"]
 
@@ -91,6 +92,7 @@ class MultiTaskRunner:
         streams: Sequence[TaskStream],
         interpreter: Interpreter | None = None,
         provide_oracle_work: bool = False,
+        energy: EnergyLedger | None = None,
     ):
         if not streams:
             raise ValueError("need at least one task stream")
@@ -101,10 +103,16 @@ class MultiTaskRunner:
         self.streams = list(streams)
         self.interpreter = interpreter if interpreter is not None else Interpreter()
         self.provide_oracle_work = provide_oracle_work
+        self.energy = energy if energy is not None else NO_ENERGY_LEDGER
+        # Streams share one board; ledger jobs number the interleaved
+        # sequence in execution order across all streams.
+        self._jobs_run = 0
 
     def run(self) -> dict[str, RunResult]:
         """Execute every stream's jobs; returns results keyed by task name."""
         board = self.board
+        if self.energy.enabled:
+            board.set_segment_observer(self.energy.observe)
         states = [
             _StreamState(stream=s, globals_=s.task.program.fresh_globals())
             for s in self.streams
@@ -144,6 +152,9 @@ class MultiTaskRunner:
         stream = state.stream
         index = state.next_index
         state.next_index += 1
+        if self.energy.enabled:
+            self.energy.begin_job(self._jobs_run)
+        self._jobs_run += 1
         arrival = stream.arrival_s(index)
         board.idle_until(arrival)
         start = board.now

@@ -24,6 +24,23 @@ from repro.telemetry.audit import (
     LadderRung,
     read_decisions_jsonl,
 )
+from repro.telemetry.energy import (
+    CONSERVATION_TOL_J,
+    ENERGY_PHASES,
+    NO_ENERGY_LEDGER,
+    OVERLAP_PHASE,
+    EnergyLedger,
+    EnergyState,
+    NullEnergyLedger,
+    energy_flamegraph_text,
+    energy_metrics,
+    energy_weighted_phases,
+    merge_energy,
+    register_energy_metrics,
+    render_energy,
+    render_energy_cells,
+    write_energy_report,
+)
 from repro.telemetry.events import (
     NO_TELEMETRY,
     CallbackSink,
@@ -161,6 +178,21 @@ __all__ = [
     "render_profile",
     "write_host_profile",
     "best_of",
+    "EnergyLedger",
+    "NullEnergyLedger",
+    "NO_ENERGY_LEDGER",
+    "EnergyState",
+    "ENERGY_PHASES",
+    "OVERLAP_PHASE",
+    "CONSERVATION_TOL_J",
+    "merge_energy",
+    "energy_metrics",
+    "register_energy_metrics",
+    "render_energy",
+    "render_energy_cells",
+    "energy_weighted_phases",
+    "energy_flamegraph_text",
+    "write_energy_report",
     "openmetrics_text",
     "openmetrics_directory",
     "render_report",

@@ -261,6 +261,10 @@ class DecisionRecord:
         beta_generation: Online-recalibration update count of the anchor
             models at decision time (0 = offline coefficients; -1 = not
             a model-driven decision).
+        energy_j: Cumulative board energy at decision time (joules), so
+            an audit log doubles as an energy trajectory — deltas
+            between consecutive records bound each job's spend.  NaN on
+            records from before this field existed.
         attribution: Full provenance payload, or None for bare records.
         ladder: Per-OPP accept/reject verdicts, empty for bare records.
     """
@@ -275,6 +279,7 @@ class DecisionRecord:
     mode: str = ""
     features: Mapping[str, float] = field(default_factory=dict)
     beta_generation: int = -1
+    energy_j: float = float("nan")
     attribution: DecisionAttribution | None = None
     ladder: tuple[LadderRung, ...] = ()
 
@@ -298,6 +303,7 @@ class DecisionRecord:
             "mode": self.mode,
             "features": dict(self.features),
             "beta_generation": self.beta_generation,
+            "energy_j": _clean(self.energy_j),
             "attributed": self.attribution is not None,
         }
 
@@ -335,6 +341,7 @@ class DecisionRecord:
                 for k, v in dict(payload.get("features", {})).items()
             },
             beta_generation=int(payload.get("beta_generation", -1)),
+            energy_j=_nan(payload.get("energy_j")),
             attribution=(
                 None
                 if attribution is None

@@ -12,6 +12,12 @@ with one timeseries per frequency — the shape PromQL expects.
 Format choices worth knowing:
 
 * Counters get the mandatory ``_total`` sample suffix.
+* Registry names ending in the repo's unit suffixes (``_j`` joules,
+  ``_s`` seconds) export with the full unit spelled into the family
+  name (``..._joules``, ``..._seconds``) and a ``# UNIT`` metadata
+  line, as the OpenMetrics spec requires of unit-carrying families.
+  Detection runs on the raw registry name, so sanitized oddities
+  (``per_job__s`` from a ``µs`` name) are not mistaken for seconds.
 * Unset gauges (NaN, or None in a dump) keep their metadata lines but
   emit no sample — absent beats ``NaN`` for every scraper.
 * Histograms export as OpenMetrics *summaries* (p50/p95/p99 quantile
@@ -37,12 +43,24 @@ _NAME_OK_FIRST = set("abcdefghijklmnopqrstuvwxyz"
 _NAME_OK_REST = _NAME_OK_FIRST | set("0123456789")
 
 
-def _family(name: str, namespace: str) -> tuple[str, str | None]:
-    """Split a registry name into (sanitized family, bracket label)."""
+#: Registry-name suffix -> OpenMetrics unit.  The family name gets the
+#: unit spelled out in full, per spec ("family name MUST end with the
+#: unit").
+_UNIT_SUFFIXES = (("_j", "joules"), ("_s", "seconds"))
+
+
+def _family(name: str, namespace: str) -> tuple[str, str | None, str | None]:
+    """Split a registry name into (sanitized family, bracket label, unit)."""
     label = None
     if name.endswith("]") and "[" in name:
         name, _, bracket = name.partition("[")
         label = bracket[:-1]
+    unit = None
+    for suffix, unit_name in _UNIT_SUFFIXES:
+        if name.endswith(suffix):
+            name = name[: -len(suffix)] + "_" + unit_name
+            unit = unit_name
+            break
     if namespace:
         name = f"{namespace}.{name}"
     chars = [
@@ -50,7 +68,7 @@ def _family(name: str, namespace: str) -> tuple[str, str | None]:
     ]
     if chars and chars[0] not in _NAME_OK_FIRST:
         chars.insert(0, "_")
-    return "".join(chars) or "_", label
+    return "".join(chars) or "_", label, unit
 
 
 def _escape_label(value: str) -> str:
@@ -93,8 +111,8 @@ class _FamilyTable:
     """
 
     def __init__(self) -> None:
-        # family -> (type, help, [(suffix, labels, value), ...])
-        self._families: dict[str, tuple[str, str, list]] = {}
+        # family -> (type, help, unit, [(suffix, labels, value), ...])
+        self._families: dict[str, tuple[str, str, str | None, list]] = {}
 
     def add(
         self,
@@ -102,23 +120,26 @@ class _FamilyTable:
         kind: str,
         help_text: str,
         samples: list[tuple[str, dict[str, str], float | None]],
+        unit: str | None = None,
     ) -> None:
         entry = self._families.get(family)
         if entry is None:
-            entry = self._families[family] = (kind, help_text, [])
+            entry = self._families[family] = (kind, help_text, unit, [])
         elif entry[0] != kind:
             raise ValueError(
                 f"metric family {family!r} registered as both "
                 f"{entry[0]} and {kind}"
             )
-        entry[2].extend(samples)
+        entry[3].extend(samples)
 
     def render(self) -> str:
         lines = []
         for family in sorted(self._families):
-            kind, help_text, samples = self._families[family]
+            kind, help_text, unit, samples = self._families[family]
             lines.append(f"# HELP {family} {_escape_help(help_text)}")
             lines.append(f"# TYPE {family} {kind}")
+            if unit is not None:
+                lines.append(f"# UNIT {family} {unit}")
             for suffix, labels, value in samples:
                 if value is None:
                     continue
@@ -145,7 +166,7 @@ def _ingest(
     base_labels: dict[str, str],
 ) -> None:
     for name, value in dump.get("counters", {}).items():
-        family, bracket = _family(name, namespace)
+        family, bracket, unit = _family(name, namespace)
         labels = dict(base_labels)
         if bracket is not None:
             labels["label"] = bracket
@@ -154,9 +175,10 @@ def _ingest(
             "counter",
             f"repro counter {name}",
             [("_total", labels, float(value))],
+            unit=unit,
         )
     for name, value in dump.get("gauges", {}).items():
-        family, bracket = _family(name, namespace)
+        family, bracket, unit = _family(name, namespace)
         labels = dict(base_labels)
         if bracket is not None:
             labels["label"] = bracket
@@ -168,9 +190,10 @@ def _ingest(
             "gauge",
             f"repro gauge {name}",
             [("", labels, sample)],
+            unit=unit,
         )
     for name, hist in dump.get("histograms", {}).items():
-        family, bracket = _family(name, namespace)
+        family, bracket, unit = _family(name, namespace)
         labels = dict(base_labels)
         if bracket is not None:
             labels["label"] = bracket
@@ -189,6 +212,7 @@ def _ingest(
             "summary",
             f"repro histogram {name} (interpolated quantiles)",
             samples,
+            unit=unit,
         )
 
 

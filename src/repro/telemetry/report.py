@@ -266,7 +266,7 @@ def _flatten(metrics: dict) -> dict[str, float]:
 # -- regression semantics ------------------------------------------------------
 #: Substrings that classify a metric's better-direction.  Checked in
 #: order: higher-is-better wins (slack percentiles contain "_s" too).
-_HIGHER_IS_BETTER = ("slack", "jobs_per_sec", "throughput")
+_HIGHER_IS_BETTER = ("slack", "jobs_per_sec", "throughput", "savings")
 _LOWER_IS_BETTER = (
     "miss",
     "alarm",
@@ -474,6 +474,16 @@ GATE_DEFAULT_METRICS = (
     "lint.diagnostics.error",
     "lint.diagnostics.warning",
     "lint.opt.rejected_certificates",
+    # Energy-attribution roll-up (``repro energy --trace``); the ledger
+    # is deterministic, so BENCH_energy_baseline.json pins total joules,
+    # per-job joules, the conservation error (effectively zero) and the
+    # normalized saving ("savings" gates higher-is-better, beating the
+    # lower-is-better "energy" token).
+    "energy.jobs",
+    "energy.total_j",
+    "energy.j_per_job",
+    "energy.savings_frac",
+    "energy.conservation_error_j",
 )
 
 #: Tolerance written into generated baselines (a run re-simulated from

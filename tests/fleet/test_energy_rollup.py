@@ -1,0 +1,143 @@
+"""Fleet energy roll-up: determinism, conservation, report surfaces."""
+
+import json
+
+import pytest
+
+from repro.fleet.cli import _report_from_dict, write_fleet_trace
+from repro.fleet.coordinator import FleetSpec, run_fleet
+from repro.fleet.tenant import TenantSpec
+from repro.telemetry.energy import merge_energy
+
+TENANTS = (
+    TenantSpec(
+        name="alpha", app="sha", governor="interactive",
+        sessions=3, jobs_per_session=6,
+    ),
+    TenantSpec(
+        name="beta", app="rijndael", governor="interactive",
+        sessions=2, jobs_per_session=5,
+    ),
+)
+
+
+def _spec(**overrides):
+    base = dict(tenants=TENANTS, seed=7, energy=True)
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_fleet(_spec(shards=2))
+
+
+class TestDeterminism:
+    def test_report_bit_identical_across_shard_counts(self):
+        """The acceptance invariant extends to attribution-enabled
+        runs: shard count never leaks into the report bytes."""
+        reports = {
+            n: run_fleet(_spec(shards=n)).report.to_json()
+            for n in (1, 2, 4)
+        }
+        assert reports[1] == reports[2] == reports[4]
+
+    def test_attribution_never_changes_the_base_numbers(self):
+        """--energy is observational: everything the report already
+        carried is unchanged, only the energy sections appear."""
+        plain = run_fleet(_spec(energy=False)).report.as_dict()
+        attributed = run_fleet(_spec()).report.as_dict()
+        assert attributed["energy"] is not None
+        for payload in (plain, attributed):
+            payload.pop("energy")
+            payload.pop("energy_top_k")
+            for tenant in payload["tenants"]:
+                tenant.pop("energy")
+        assert plain == attributed
+
+
+class TestRollup:
+    def test_tenant_states_sum_session_states(self, outcome):
+        report = outcome.report
+        sessions = [
+            s for shard in outcome.shard_results for s in shard.sessions
+        ]
+        for tenant in report.tenants:
+            mine = sorted(
+                (s for s in sessions if s.tenant == tenant.name),
+                key=lambda s: s.index,
+            )
+            assert all(s.energy_state is not None for s in mine)
+            folded = mine[0].energy_state
+            for s in mine[1:]:
+                folded = merge_energy(folded, s.energy_state)
+            assert tenant.energy == folded
+            # Attribution conserves the report's own energy column.
+            assert tenant.energy.total_j == pytest.approx(
+                tenant.energy_j, abs=1e-9
+            )
+
+    def test_fleet_state_sums_tenant_states(self, outcome):
+        report = outcome.report
+        folded = report.tenants[0].energy
+        for tenant in report.tenants[1:]:
+            folded = merge_energy(folded, tenant.energy)
+        assert report.energy == folded
+        assert report.energy.jobs == report.jobs
+
+    def test_energy_top_k_ranked_by_joules(self, outcome):
+        report = outcome.report
+        by_name = {t.name: t for t in report.tenants}
+        joules = [
+            by_name[name].energy.total_j for name in report.energy_top_k
+        ]
+        assert joules == sorted(joules, reverse=True)
+        assert set(report.energy_top_k) == {t.name for t in TENANTS}
+
+    def test_disabled_fleet_has_no_energy_fields(self):
+        report = run_fleet(_spec(energy=False)).report
+        assert report.energy is None
+        assert report.energy_top_k == ()
+        assert all(t.energy is None for t in report.tenants)
+
+
+class TestSurfaces:
+    def test_renderers_include_energy_sections(self, outcome):
+        text = outcome.report.render_text()
+        assert "energy attribution:" in text
+        assert "energy-hungry" in text
+        markdown = outcome.report.render_markdown()
+        assert "## Energy attribution" in markdown
+
+    def test_report_round_trips_through_json(self, outcome):
+        rebuilt = _report_from_dict(
+            json.loads(outcome.report.to_json())
+        )
+        assert rebuilt.energy == outcome.report.energy
+        assert rebuilt.energy_top_k == outcome.report.energy_top_k
+        assert rebuilt.render_text() == outcome.report.render_text()
+
+    def test_legacy_report_json_still_renders(self, outcome):
+        """Pre-attribution fleet_report.json files have no energy keys;
+        the reader must treat them as attribution-off."""
+        payload = json.loads(outcome.report.to_json())
+        payload.pop("energy")
+        payload.pop("energy_top_k")
+        for tenant in payload["tenants"]:
+            tenant.pop("energy")
+        rebuilt = _report_from_dict(payload)
+        assert rebuilt.energy is None
+        assert "energy attribution:" not in rebuilt.render_text()
+
+    def test_fleet_metrics_gain_energy_gauges(self, outcome, tmp_path):
+        paths = write_fleet_trace(outcome.report, tmp_path, name="e2e")
+        metrics = json.loads(
+            (tmp_path / "fleet.e2e.metrics.json").read_text()
+        )
+        gauges = metrics["gauges"]
+        assert gauges["fleet.energy_attributed_j"] == pytest.approx(
+            outcome.report.energy.total_j
+        )
+        assert "fleet.energy_j_per_job" in gauges
+        assert "fleet.energy_savings_frac" in gauges
+        assert len(paths) == 3

@@ -98,8 +98,9 @@ class TestPlacementsEndToEnd:
             placement=PredictorPlacement.PIPELINED,
         )
         assert result.mean_predictor_time_s == 0.0
-        # But the overlapped slice energy is still accounted.
-        assert result.energy_by_tag["predictor"] > 0.0
+        # But the overlapped slice energy is still accounted, under its
+        # own tag (it corresponds to no timeline segment).
+        assert result.energy_by_tag["predictor_overlap"] > 0.0
 
     def test_parallel_overlaps_execution(self, lab):
         sequential = lab.run("ldecode", "prediction", n_jobs=60)

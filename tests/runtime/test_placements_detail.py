@@ -62,7 +62,7 @@ class TestPipelined:
             app, controller.governor(), PredictorPlacement.PIPELINED
         )
         assert all(j.predictor_time_s == 0.0 for j in result.jobs)
-        assert result.energy_by_tag["predictor"] > 0.0
+        assert result.energy_by_tag["predictor_overlap"] > 0.0
 
     def test_overlap_energy_included_in_total(self, stack):
         app, controller = stack

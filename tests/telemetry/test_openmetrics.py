@@ -56,11 +56,14 @@ class TestFormatBasics:
         registry.gauge("executor.residency_s[800]").set(2.5)
         text = openmetrics_text(registry)
         types, samples = parse_exposition(text)
-        # One family, two labelled timeseries.
-        assert types["repro_executor_residency_s"] == "gauge"
-        assert samples['repro_executor_residency_s{label="600"}'] == 1.5
-        assert samples['repro_executor_residency_s{label="800"}'] == 2.5
-        assert text.count("# TYPE repro_executor_residency_s ") == 1
+        # One family, two labelled timeseries; the _s suffix exports as
+        # a spelled-out unit per the OpenMetrics spec.
+        family = "repro_executor_residency_seconds"
+        assert types[family] == "gauge"
+        assert samples[family + '{label="600"}'] == 1.5
+        assert samples[family + '{label="800"}'] == 2.5
+        assert text.count(f"# TYPE {family} ") == 1
+        assert f"# UNIT {family} seconds" in text
 
     def test_histogram_exports_as_summary(self):
         registry = MetricsRegistry()
@@ -68,12 +71,39 @@ class TestFormatBasics:
         for value in (0.01, 0.02, 0.03, 0.04):
             hist.observe(value)
         types, samples = parse_exposition(openmetrics_text(registry))
-        assert types["repro_executor_slack_s"] == "summary"
-        assert samples["repro_executor_slack_s_count"] == 4
-        assert samples["repro_executor_slack_s_sum"] == pytest.approx(0.1)
-        assert 'repro_executor_slack_s{quantile="0.5"}' in samples
-        assert 'repro_executor_slack_s{quantile="0.95"}' in samples
-        assert 'repro_executor_slack_s{quantile="0.99"}' in samples
+        family = "repro_executor_slack_seconds"
+        assert types[family] == "summary"
+        assert samples[family + "_count"] == 4
+        assert samples[family + "_sum"] == pytest.approx(0.1)
+        assert family + '{quantile="0.5"}' in samples
+        assert family + '{quantile="0.95"}' in samples
+        assert family + '{quantile="0.99"}' in samples
+
+    def test_joule_counter_unit_before_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("executor.energy_j").inc(2.5)
+        text = openmetrics_text(registry)
+        types, samples = parse_exposition(text)
+        # Unit spelled into the family name, _total after it (spec
+        # orders the unit suffix before the counter suffix).
+        assert types["repro_executor_energy_joules"] == "counter"
+        assert samples["repro_executor_energy_joules_total"] == 2.5
+        assert "# UNIT repro_executor_energy_joules joules" in text
+
+    def test_unitless_family_has_no_unit_line(self):
+        registry = MetricsRegistry()
+        registry.gauge("energy.savings_frac").set(0.56)
+        text = openmetrics_text(registry)
+        assert "# UNIT" not in text
+
+    def test_sanitized_micro_suffix_not_mistaken_for_seconds(self):
+        # "per-job µs" sanitizes to "...__s"; unit detection runs on the
+        # raw name, so no seconds unit may be inferred.
+        registry = MetricsRegistry()
+        registry.gauge("weird.per-job µs").set(1.0)
+        text = openmetrics_text(registry, namespace="")
+        assert "# UNIT" not in text
+        assert "weird_per_job__s" in text
 
     def test_base_labels_stamped_and_sorted(self):
         registry = MetricsRegistry()
