@@ -10,6 +10,7 @@ from dataclasses import replace
 import pytest
 from conftest import one_shot
 
+from repro.ablation.registry import PLATFORMS, batch_governor, configs_without
 from repro.analysis.harness import Lab
 from repro.analysis.render import format_table
 from repro.pipeline.config import PipelineConfig
@@ -223,7 +224,7 @@ def test_ablation_batch_prediction(benchmark, lab):
         rows = []
         for factor in (1.0, 2.0):
             budget = factor * max_time
-            for governor in ("prediction", "prediction-batch8"):
+            for governor in ("prediction", batch_governor(8)):
                 run = lab.run(app, governor, budget_s=budget, n_jobs=200)
                 rows.append(
                     (
@@ -248,14 +249,14 @@ def test_ablation_batch_prediction(benchmark, lab):
     )
     by_key = {(r[0], r[1]): r for r in rows}
     tight_per_job = by_key[(1.0, "prediction")]
-    tight_batch = by_key[(1.0, "prediction-batch8")]
+    tight_batch = by_key[(1.0, batch_governor(8))]
     # The paper's >100% pathology at the tightest budget...
     assert tight_per_job[2] > 100.0
     # ...which batching repairs.
     assert tight_batch[2] < tight_per_job[2]
     # At a looser budget both save heavily; batch switches far less.
     loose_per_job = by_key[(2.0, "prediction")]
-    loose_batch = by_key[(2.0, "prediction-batch8")]
+    loose_batch = by_key[(2.0, batch_governor(8))]
     assert loose_per_job[2] < 60.0
     assert loose_batch[4] < loose_per_job[4] / 4
     assert abs(loose_batch[2] - loose_per_job[2]) < 10.0
@@ -269,12 +270,11 @@ def test_ablation_a15_platform(benchmark):
 
     def sweep():
         from repro.analysis.harness import Lab
-        from repro.platform.opp import default_xu3_a15_table
-        from repro.platform.power import default_a15_power_model
 
+        a15 = PLATFORMS["a15"]
         a15_lab = Lab(
-            opps=default_xu3_a15_table(),
-            power=default_a15_power_model(),
+            opps=a15.opps(),
+            power=a15.power(),
             seed=42,
             switch_samples=50,
         )
@@ -397,8 +397,15 @@ def test_ablation_asymmetric_vs_ols(benchmark, lab):
         cpu = SimulatedCpu()
         app = lab.app(APP)
         rows = []
-        for alpha in (1.0, 100.0):
-            config = replace(lab.pipeline_config, alpha=alpha, margin=0.0)
+        # Off-states come from the shared component registry: symmetric
+        # training is "asymmetric_loss off", and both arms drop the
+        # margin so the model — not the cushion — carries safety.
+        for disabled in (("asymmetric_loss", "safety_margin"),
+                         ("safety_margin",)):
+            config, _ = configs_without(
+                disabled, pipeline=lab.pipeline_config
+            )
+            alpha = config.alpha
             controller = lab.controller(APP, config)
             task_globals = app.task.program.fresh_globals()
             under = 0

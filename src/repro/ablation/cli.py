@@ -1,0 +1,285 @@
+"""``repro ablate`` — run and report component-importance matrices.
+
+Two subcommands:
+
+``repro ablate run``
+    Plan the matrix (workloads x scenarios x variants), execute it
+    (optionally multiprocess — results are byte-identical for every
+    ``--workers`` value), score it against the baseline, print the
+    ranked component-importance table, and write the artifact family
+    into ``--out`` (raw results + gateable metrics always; JSON/CSV/
+    markdown reports opt-in).
+
+``repro ablate report``
+    Re-score a previously written ``ablation_results.json`` without
+    re-simulating anything and print (or re-emit) the report.
+
+Everything on stdout is a deterministic function of the plan; timings
+and file listings go to stderr, so piped output is stable enough to
+diff across machines and worker counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.ablation.planner import DEFAULT_SCENARIOS, plan_matrix
+from repro.ablation.registry import component_names
+from repro.ablation.runner import AblationResult, run_ablation
+from repro.ablation.score import score_ablation
+from repro.ablation.emit import ranked_table, write_artifacts
+
+__all__ = ["ablate_command"]
+
+
+def _csv_list(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro ablate run",
+        description=(
+            "Execute a baseline-plus-one-off ablation matrix over a "
+            "workloads x scenarios grid and rank every control-plane "
+            "component by measured consequence."
+        ),
+    )
+    parser.add_argument(
+        "--workloads",
+        required=True,
+        metavar="A,B,...",
+        help="comma-separated benchmark names (see repro list)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="matrix root seed"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=150, help="jobs per cell"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (results are identical for any value)",
+    )
+    parser.add_argument(
+        "--components",
+        default=None,
+        metavar="A,B,...",
+        help="components to ablate (default: all registered: "
+        + ", ".join(component_names())
+        + ")",
+    )
+    parser.add_argument(
+        "--scenarios",
+        default=None,
+        metavar="A,B,...",
+        help="scenario names from the default grid ("
+        + ", ".join(s.name for s in DEFAULT_SCENARIOS)
+        + "; default: all)",
+    )
+    parser.add_argument(
+        "--pairwise",
+        action="store_true",
+        help="also run every two-component-off combination "
+        "(duplicates of an existing variant are dropped)",
+    )
+    parser.add_argument(
+        "--out",
+        default="ablate-out",
+        metavar="DIR",
+        help="artifact directory (default: ablate-out)",
+    )
+    parser.add_argument(
+        "--profile-jobs",
+        type=int,
+        default=60,
+        help="offline profiling jobs per trained controller",
+    )
+    parser.add_argument(
+        "--switch-samples",
+        type=int,
+        default=40,
+        help="switch-microbenchmark samples per OPP pair",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write the scored report as ablation.json",
+    )
+    parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="also write per-cell deltas as ablation.csv",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="also write the report as ablation.md",
+    )
+    return parser
+
+
+def _report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro ablate report",
+        description=(
+            "Re-score a previously executed matrix from its "
+            "ablation_results.json (no re-simulation) and print the "
+            "ranked component-importance table."
+        ),
+    )
+    parser.add_argument(
+        "directory",
+        metavar="DIR",
+        help="artifact directory a `repro ablate run --out DIR` wrote",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="(re)write the scored report as DIR/ablation.json",
+    )
+    parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="(re)write per-cell deltas as DIR/ablation.csv",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="(re)write the report as DIR/ablation.md",
+    )
+    return parser
+
+
+def _run(argv: list[str]) -> int:
+    try:
+        args = _run_parser().parse_args(argv)
+    except SystemExit as error:
+        return int(error.code or 0)
+
+    scenarios = None
+    if args.scenarios is not None:
+        by_name = {s.name: s for s in DEFAULT_SCENARIOS}
+        wanted = _csv_list(args.scenarios)
+        unknown = [name for name in wanted if name not in by_name]
+        if unknown:
+            print(
+                f"unknown scenario(s): {', '.join(unknown)} "
+                f"(available: {', '.join(by_name)})",
+                file=sys.stderr,
+            )
+            return 2
+        scenarios = [by_name[name] for name in wanted]
+
+    try:
+        plan = plan_matrix(
+            workloads=_csv_list(args.workloads),
+            seed=args.seed,
+            components=(
+                _csv_list(args.components)
+                if args.components is not None
+                else None
+            ),
+            scenarios=scenarios,
+            pairwise=args.pairwise,
+            n_jobs=args.jobs,
+            profile_jobs=args.profile_jobs,
+            switch_samples=args.switch_samples,
+        )
+    except (KeyError, ValueError) as error:
+        # KeyError reprs its message; unwrap for a readable CLI line.
+        message = error.args[0] if error.args else str(error)
+        print(str(message), file=sys.stderr)
+        return 2
+
+    started = time.time()
+    print(
+        f"[ablate: {len(plan.cells)} cells = "
+        f"{len(plan.workloads)} workload(s) x "
+        f"{len(plan.scenarios)} scenario(s) x "
+        f"{len(plan.variants)} variant(s), "
+        f"{args.workers} worker(s)]",
+        file=sys.stderr,
+    )
+    result = run_ablation(plan, workers=args.workers)
+    report = score_ablation(result)
+    print(ranked_table(report))
+    written = write_artifacts(
+        result,
+        report,
+        args.out,
+        json_report=args.json,
+        csv_report=args.csv,
+        markdown_report=args.markdown,
+    )
+    print(
+        f"[ablate: {len(written)} file(s) -> {args.out}, "
+        f"{time.time() - started:.1f}s]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _report(argv: list[str]) -> int:
+    try:
+        args = _report_parser().parse_args(argv)
+    except SystemExit as error:
+        return int(error.code or 0)
+
+    raw = pathlib.Path(args.directory) / "ablation_results.json"
+    if not raw.is_file():
+        print(
+            f"no ablation_results.json under {args.directory} — "
+            "was it produced by `repro ablate run --out`?",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        result = AblationResult.from_dict(json.loads(raw.read_text()))
+        report = score_ablation(result)
+    except (KeyError, ValueError) as error:
+        print(f"unreadable results file {raw}: {error}", file=sys.stderr)
+        return 2
+    print(ranked_table(report))
+    if args.json or args.csv or args.markdown:
+        written = write_artifacts(
+            result,
+            report,
+            args.directory,
+            json_report=args.json,
+            csv_report=args.csv,
+            markdown_report=args.markdown,
+        )
+        print(
+            f"[ablate: {len(written)} file(s) -> {args.directory}]",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def ablate_command(argv: list[str]) -> int:
+    """Entry point for ``repro ablate``; returns a process exit code."""
+    if not argv or argv[0] in ("-h", "--help"):
+        print(
+            "usage: repro ablate {run,report} ...\n\n"
+            "  run     execute an ablation matrix "
+            "(repro ablate run --help)\n"
+            "  report  re-score a written matrix "
+            "(repro ablate report --help)"
+        )
+        return 0 if argv else 2
+    if argv[0] == "run":
+        return _run(argv[1:])
+    if argv[0] == "report":
+        return _report(argv[1:])
+    print(
+        f"unknown ablate subcommand {argv[0]!r} (expected run or report)",
+        file=sys.stderr,
+    )
+    return 2

@@ -1,0 +1,359 @@
+"""Artifact emission: ranked tables, JSON/CSV/markdown, gate metrics.
+
+One executed matrix produces a small artifact family under the output
+directory:
+
+- ``ablation_results.json`` — the raw :class:`~repro.ablation.runner.
+  AblationResult` (plan + per-cell records, decision logs included),
+  always written: ``repro ablate report`` re-scores from it without
+  re-simulating anything.
+- ``ablation.json`` / ``ablation.csv`` / ``ablation.md`` — the scored
+  report in machine-, spreadsheet-, and human-shaped forms (opt-in via
+  the CLI's ``--json/--csv/--markdown``).
+- ``ablate.summary.metrics.json`` — the run in the telemetry metrics
+  schema, so the standard ``repro report DIR --gate`` pipeline (and the
+  committed ``BENCH_ablate_baseline.json``) holds the ablation's
+  conclusions — baseline health plus every component's measured
+  importance — to CI regression gating like any other trace.
+
+Everything here is a pure function of the scored report, so artifacts
+are byte-identical whenever the matrix is (which the runner guarantees
+across worker counts).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.ablation.runner import AblationResult
+from repro.ablation.score import AblationReport, ComponentScore
+from repro.analysis.render import format_table
+
+__all__ = [
+    "metrics_payload",
+    "ranked_table",
+    "report_csv",
+    "report_markdown",
+    "write_artifacts",
+]
+
+
+def _pct(value: float) -> str:
+    return f"{100.0 * value:+.2f}"
+
+
+def _ci(ci: tuple[float, float]) -> str:
+    return f"[{100.0 * ci[0]:+.2f}, {100.0 * ci[1]:+.2f}]"
+
+
+def ranked_table(report: AblationReport) -> str:
+    """The ranked component-importance table (the CLI's stdout)."""
+    rows = []
+    for rank, score in enumerate(report.scores, start=1):
+        rows.append(
+            (
+                rank,
+                score.variant,
+                f"{score.importance:.4f}",
+                _pct(score.miss_rate_delta),
+                _ci(score.miss_rate_ci),
+                _pct(score.energy_delta_frac),
+                _ci(score.energy_ci_frac),
+                _pct(score.savings_frac_delta),
+                score.divergences,
+                score.top_divergence or "-",
+            )
+        )
+    table = format_table(
+        [
+            "rank",
+            "variant",
+            "importance",
+            "dmiss[pp]",
+            "dmiss 95% CI",
+            "denergy[%]",
+            "denergy 95% CI",
+            "dsavings[pp]",
+            "div",
+            "top divergence",
+        ],
+        rows,
+        title=(
+            "component importance "
+            f"(workloads: {', '.join(report.workloads)}; "
+            f"scenarios: {', '.join(report.scenarios)}; "
+            f"seed {report.seed}, {report.n_jobs} jobs/cell)"
+        ),
+    )
+    base = report.baseline
+    footer = (
+        f"baseline: miss_rate {base.miss_rate:.4f}, "
+        f"energy/job {base.energy_per_job_j:.4g} J, "
+        f"savings {base.savings_frac:.4f}, "
+        f"p05 slack {base.p05_slack_s * 1e3:.3f} ms "
+        f"({base.jobs} jobs)"
+    )
+    lines = [table, footer]
+    if report.dropped_duplicates:
+        lines.append(
+            "dropped duplicate variants: "
+            + "; ".join(report.dropped_duplicates)
+        )
+    return "\n".join(lines)
+
+
+def report_csv(report: AblationReport) -> str:
+    """Per-cell rows plus ``ALL`` aggregate rows, spreadsheet-shaped."""
+    lines = [
+        "variant,workload,scenario,importance,miss_rate_delta,"
+        "miss_ci_lo,miss_ci_hi,energy_delta_frac,energy_ci_lo,"
+        "energy_ci_hi,p05_slack_delta_s,savings_frac_delta,"
+        "divergences,top_divergence"
+    ]
+
+    def row(
+        variant: str,
+        workload: str,
+        scenario: str,
+        importance: str,
+        miss: float,
+        miss_ci: tuple[float, float],
+        energy: float,
+        energy_ci: tuple[float, float],
+        slack: float,
+        savings: float,
+        divergences: int,
+        kind: str,
+    ) -> str:
+        return ",".join(
+            [
+                variant,
+                workload,
+                scenario,
+                importance,
+                f"{miss:.6f}",
+                f"{miss_ci[0]:.6f}",
+                f"{miss_ci[1]:.6f}",
+                f"{energy:.6f}",
+                f"{energy_ci[0]:.6f}",
+                f"{energy_ci[1]:.6f}",
+                f"{slack:.6g}",
+                f"{savings:.6f}",
+                str(divergences),
+                kind,
+            ]
+        )
+
+    for score in report.scores:
+        lines.append(
+            row(
+                score.variant,
+                "ALL",
+                "ALL",
+                f"{score.importance:.6f}",
+                score.miss_rate_delta,
+                score.miss_rate_ci,
+                score.energy_delta_frac,
+                score.energy_ci_frac,
+                score.p05_slack_delta_s,
+                score.savings_frac_delta,
+                score.divergences,
+                score.top_divergence,
+            )
+        )
+        for cell in score.cells:
+            lines.append(
+                row(
+                    score.variant,
+                    cell.workload,
+                    cell.scenario,
+                    "",
+                    cell.miss_rate_delta,
+                    cell.miss_rate_ci,
+                    (
+                        cell.energy_delta_frac
+                        if cell.energy_delta_frac == cell.energy_delta_frac
+                        else 0.0
+                    ),
+                    cell.energy_ci_frac,
+                    cell.p05_slack_delta_s,
+                    (
+                        cell.savings_frac_delta
+                        if cell.savings_frac_delta == cell.savings_frac_delta
+                        else 0.0
+                    ),
+                    cell.divergences,
+                    cell.top_divergence,
+                )
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _md_score_row(rank: int, score: ComponentScore) -> str:
+    return (
+        f"| {rank} | `{score.variant}` | {score.importance:.4f} "
+        f"| {_pct(score.miss_rate_delta)} {_ci(score.miss_rate_ci)} "
+        f"| {_pct(score.energy_delta_frac)} {_ci(score.energy_ci_frac)} "
+        f"| {_pct(score.savings_frac_delta)} "
+        f"| {score.divergences} | {score.top_divergence or '—'} |"
+    )
+
+
+def report_markdown(report: AblationReport) -> str:
+    """The scored matrix as a standalone markdown document."""
+    base = report.baseline
+    lines = [
+        "# Ablation report",
+        "",
+        f"- workloads: {', '.join(report.workloads)}",
+        f"- scenarios: {', '.join(report.scenarios)}",
+        f"- seed: {report.seed}; jobs/cell: {report.n_jobs}",
+        (
+            f"- baseline (all components on): miss rate "
+            f"{base.miss_rate:.4f}, energy/job {base.energy_per_job_j:.4g} J, "
+            f"savings {base.savings_frac:.4f}, p05 slack "
+            f"{base.p05_slack_s * 1e3:.3f} ms over {base.jobs} jobs"
+        ),
+        "",
+        "Deltas are *variant minus baseline* on identical job streams "
+        "(paired seeds), with 95% paired-bootstrap CIs in brackets; "
+        "`dmiss`/`dsavings` are percentage points, `denergy` percent. "
+        "`top divergence` is the dominant decision-provenance class "
+        "explaining how the variant decided differently.",
+        "",
+        "| rank | variant | importance | dmiss [pp] | denergy [%] "
+        "| dsavings [pp] | diverging jobs | top divergence |",
+        "| --- | --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    for rank, score in enumerate(report.scores, start=1):
+        lines.append(_md_score_row(rank, score))
+    lines.append("")
+    lines.append("## What each disabled component is")
+    lines.append("")
+    from repro.ablation.registry import get_component
+
+    seen: set[str] = set()
+    for score in report.scores:
+        for name in score.disabled:
+            if name in seen:
+                continue
+            seen.add(name)
+            component = get_component(name)
+            lines.append(f"- **{component.title}** (`{name}`): "
+                         f"{component.summary}")
+    lines.append("")
+    lines.append("## Per-cell deltas")
+    lines.append("")
+    lines.append(
+        "| variant | workload | scenario | dmiss [pp] | denergy [%] "
+        "| dp05 slack [ms] | divergences | top divergence |"
+    )
+    lines.append("| --- | --- | --- | --- | --- | --- | --- | --- |")
+    for score in report.scores:
+        for cell in score.cells:
+            energy = (
+                cell.energy_delta_frac
+                if cell.energy_delta_frac == cell.energy_delta_frac
+                else 0.0
+            )
+            lines.append(
+                f"| `{score.variant}` | {cell.workload} | {cell.scenario} "
+                f"| {_pct(cell.miss_rate_delta)} | {_pct(energy)} "
+                f"| {cell.p05_slack_delta_s * 1e3:+.3f} "
+                f"| {cell.divergences} | {cell.top_divergence or '—'} |"
+            )
+    if report.dropped_duplicates:
+        lines.append("")
+        lines.append(
+            "Dropped duplicate variants (merged configs identical to an "
+            "earlier variant): "
+            + "; ".join(f"`{name}`" for name in report.dropped_duplicates)
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def metrics_payload(result: AblationResult, report: AblationReport) -> dict:
+    """The run in the telemetry metrics schema, for ``report --gate``.
+
+    Counters pin the matrix shape; gauges pin the baseline's health and
+    every single-component variant's measured importance and headline
+    deltas, so the committed ``BENCH_ablate_baseline.json`` fails CI
+    when a code change silently rewrites which components matter.
+    """
+    base = report.baseline
+    gauges: dict[str, float] = {
+        "ablate.baseline.miss_rate": base.miss_rate,
+        "ablate.baseline.energy_per_job_j": base.energy_per_job_j,
+        "ablate.baseline.savings_frac": base.savings_frac,
+        "ablate.baseline.p05_slack_s": base.p05_slack_s,
+    }
+    for score in report.scores:
+        if len(score.disabled) != 1:
+            continue  # pairwise variants are exploratory, not gated
+        component = score.disabled[0]
+        gauges[f"ablate.{component}.importance"] = score.importance
+        gauges[f"ablate.{component}.miss_rate_delta_pp"] = (
+            100.0 * score.miss_rate_delta
+        )
+        gauges[f"ablate.{component}.energy_delta_frac"] = (
+            score.energy_delta_frac
+        )
+    return {
+        "counters": {
+            "ablate.cells": float(len(result.cells)),
+            "ablate.components": float(
+                sum(
+                    1
+                    for variant in result.plan.variants
+                    if len(variant.disabled) == 1
+                )
+            ),
+            "ablate.jobs": float(
+                sum(cell.n_jobs for cell in result.cells)
+            ),
+        },
+        "gauges": gauges,
+        "histograms": {},
+    }
+
+
+def write_artifacts(
+    result: AblationResult,
+    report: AblationReport,
+    out_dir: pathlib.Path | str,
+    json_report: bool = False,
+    csv_report: bool = False,
+    markdown_report: bool = False,
+) -> list[pathlib.Path]:
+    """Write the artifact family; returns the paths written."""
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[pathlib.Path] = []
+
+    raw = out / "ablation_results.json"
+    raw.write_text(json.dumps(result.as_dict(), sort_keys=True))
+    written.append(raw)
+
+    metrics = out / "ablate.summary.metrics.json"
+    metrics.write_text(
+        json.dumps(metrics_payload(result, report), indent=2, sort_keys=True)
+    )
+    written.append(metrics)
+
+    if json_report:
+        path = out / "ablation.json"
+        path.write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True)
+        )
+        written.append(path)
+    if csv_report:
+        path = out / "ablation.csv"
+        path.write_text(report_csv(report))
+        written.append(path)
+    if markdown_report:
+        path = out / "ablation.md"
+        path.write_text(report_markdown(report))
+        written.append(path)
+    return written

@@ -102,6 +102,9 @@ def _list_experiments() -> str:
     lines.append("  energy   conservation-checked per-job/phase/OPP energy "
                  "attribution with a live savings estimate "
                  "(repro energy --help)")
+    lines.append("  ablate   component-importance matrix: disable each "
+                 "mechanism, rank by measured consequence "
+                 "(repro ablate --help)")
     return "\n".join(lines)
 
 
@@ -131,6 +134,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.fleet.cli import fleet_command
 
         return fleet_command(raw[1:])
+    if raw and raw[0] == "ablate":
+        from repro.ablation.cli import ablate_command
+
+        return ablate_command(raw[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(

@@ -83,6 +83,23 @@ class AdaptiveConfig:
             (monitor + detector updates), in CPU cycles.
         update_cycles_per_feature_sq: RLS update cost per feature², in
             CPU cycles (the rank-1 covariance update is O(n²)).
+        recalibrate: Feed observed residuals back into the anchor
+            models (the online RLS update).  False freezes the offline
+            coefficients — drift is still *detected* but never learned
+            away — and drops the O(features²) part of the feedback
+            bill.  Exists for ablations.
+        fallback_armed: Allow the mode machine to leave PREDICT.  False
+            disarms both the drift detector's alarm and external
+            :meth:`AdaptiveGovernor.arm_fallback` calls, so prediction
+            keeps driving through drift.  Exists for ablations.
+        bound_skip: Use a tight slice-cost certificate in the predict
+            path the way the frozen governor does: pre-flight the
+            certified worst case (pin fmax without slicing when even
+            the bound cannot fit) and keep the bound's unspent
+            remainder reserved while choosing.  Off by default — the
+            historical adaptive path never consulted the certificate —
+            and armed by the ablation baseline so its value is
+            measurable.
     """
 
     rls_forgetting: float = 0.98
@@ -99,6 +116,9 @@ class AdaptiveConfig:
     target_miss_rate: float = 0.02
     update_base_cycles: float = 15_000.0
     update_cycles_per_feature_sq: float = 40.0
+    recalibrate: bool = True
+    fallback_armed: bool = True
+    bound_skip: bool = False
 
     def __post_init__(self) -> None:
         if self.warmup_jobs < 1:
@@ -237,7 +257,39 @@ class AdaptiveGovernor(Governor):
         then decide via prediction or the fallback policy."""
         board = ctx.board
         telemetry = self.telemetry
+        bound_work = None
+        if self.config.bound_skip and self.mode is AdaptiveMode.PREDICT:
+            bound_work = self.inner.slice_bound_work()
+        if bound_work is not None and ctx.charge_overheads:
+            # Pre-flight against the certified worst case, exactly like
+            # the frozen governor: when even the bound plus a switch
+            # cannot fit, the slice is pure overhead on a doomed job.
+            bound_time = board.cpu.execution_time(
+                bound_work, board.current_opp
+            )
+            headroom = (
+                ctx.deadline_s
+                - board.now
+                - bound_time
+                - self.inner.switch_estimate_s(ctx)
+            )
+            if headroom <= 0:
+                if telemetry.enabled:
+                    telemetry.metrics.counter("predict.bound_skips").inc()
+                # No slice ran, so there is nothing to learn from this
+                # job; the feedback path sees no pending features.
+                self._pending = None
+                decision = Decision(self.inner.dvfs.opps.fmax)
+                self.audit_decision(
+                    ctx,
+                    decision,
+                    effective_budget_s=headroom,
+                    margin=self.predictor.margin.value,
+                    mode="bound-skip",
+                )
+                return decision
         outcome = self.inner.analyze(ctx)
+        slice_time = 0.0
         if ctx.charge_overheads:
             slice_from = board.now
             slice_time = board.cpu.execution_time(
@@ -269,6 +321,18 @@ class AdaptiveGovernor(Governor):
         if ctx.charge_overheads:
             switch_estimate = self.inner.switch_estimate_s(ctx)
             budget = ctx.deadline_s - board.now - switch_estimate
+            if bound_work is not None:
+                # Keep the unspent remainder of the certified bound
+                # reserved (a lucky fast slice run must not unlock
+                # headroom the static analysis does not guarantee).
+                bound_time = board.cpu.execution_time(
+                    bound_work, board.current_opp
+                )
+                budget -= max(0.0, bound_time - slice_time)
+                if slice_time > bound_time and telemetry.enabled:
+                    telemetry.metrics.counter(
+                        "certifier.bound_exceeded"
+                    ).inc()
         else:
             budget = ctx.deadline_s - board.now
             switch_estimate = (
@@ -353,14 +417,18 @@ class AdaptiveGovernor(Governor):
         # (throttling, heavier content) is captured exactly; a drifting
         # memory/compute split is folded into the same factor.
         factor = t_observed / max(t_predicted, _EPS)
-        self.predictor.observe(
-            x, raw.t_fmax_s * factor, raw.t_fmin_s * factor
-        )
+        if self.config.recalibrate:
+            self.predictor.observe(
+                x, raw.t_fmax_s * factor, raw.t_fmin_s * factor
+            )
         self.jobs_in_mode += 1
 
         if self.mode is AdaptiveMode.PREDICT:
             self.predictor.margin.update(record.missed)
-            if self.detector.update(max(residual, 0.0)):
+            if (
+                self.detector.update(max(residual, 0.0))
+                and self.config.fallback_armed
+            ):
                 self.mode = AdaptiveMode.FALLBACK
                 self.jobs_in_mode = 0
                 self.drift_events += 1
@@ -403,10 +471,12 @@ class AdaptiveGovernor(Governor):
                     ).inc()
 
         n = self.predictor.n_features
-        return Work(
-            cycles=self.config.update_base_cycles
-            + self.config.update_cycles_per_feature_sq * float(n * n)
+        rls_cycles = (
+            self.config.update_cycles_per_feature_sq * float(n * n)
+            if self.config.recalibrate
+            else 0.0
         )
+        return Work(cycles=self.config.update_base_cycles + rls_cycles)
 
     def arm_fallback(self, reason: str = "external", t_s: float = 0.0) -> bool:
         """Force the deadline-safe fallback mode from outside the loop.
@@ -417,7 +487,7 @@ class AdaptiveGovernor(Governor):
         internal alarm, so the usual cooldown-and-stability path governs
         re-engagement.  Returns True when the mode actually changed.
         """
-        if self.mode is AdaptiveMode.FALLBACK:
+        if self.mode is AdaptiveMode.FALLBACK or not self.config.fallback_armed:
             return False
         self.mode = AdaptiveMode.FALLBACK
         self.jobs_in_mode = 0

@@ -52,6 +52,13 @@ class PipelineConfig:
             ``(app_name, n_jobs)`` pairs.  pocketsphinx jobs are seconds
             long, so fewer of them keep simulated sessions comparable in
             wall-clock cost.
+        slice_mode: What the slicer keeps: "selected" (default — only
+            the sites the trained model uses, the paper's §3.2 slice)
+            or "full" (every instrumented site, i.e. the predictor runs
+            the whole program again).  "full" exists for ablations: it
+            is what the governor pays when slicing is disabled, so the
+            slicing component's value can be measured rather than
+            asserted.
         optimize: Which programs the IR optimizer
             (:mod:`repro.programs.opt`) rewrites before deployment:
             "off" (default) leaves everything untouched, "slice"
@@ -78,6 +85,7 @@ class PipelineConfig:
     certify_input_widen: float = 0.5
     eval_n_jobs: int = 250
     eval_n_jobs_overrides: tuple[tuple[str, int], ...] = (("pocketsphinx", 40),)
+    slice_mode: str = "selected"
     optimize: str = "off"
 
     def __post_init__(self) -> None:
@@ -98,6 +106,11 @@ class PipelineConfig:
             )
         if self.certify_input_widen < 0:
             raise ValueError("certify_input_widen must be non-negative")
+        if self.slice_mode not in ("selected", "full"):
+            raise ValueError(
+                f"slice_mode must be 'selected' or 'full', "
+                f"got {self.slice_mode!r}"
+            )
         if self.optimize not in ("off", "slice", "all"):
             raise ValueError(
                 f"optimize must be 'off', 'slice', or 'all', "

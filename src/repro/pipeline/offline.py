@@ -140,12 +140,18 @@ def build_controller(
         degree=config.model_degree,
     )
 
-    # 4. Slice to the selected features.
+    # 4. Slice to the selected features.  "full" disables the slicer's
+    # dependence pruning entirely — the slicing-off ablation, where the
+    # predictor measures features by re-running the whole instrumented
+    # program (still isolated, still paying marshalling).
     slicer = Slicer(
         marshal_base_instr=config.slice_marshal_base_instr,
         marshal_per_var_instr=config.slice_marshal_per_var_instr,
     )
-    slice_ = slicer.slice(instrumented, set(predictor.needed_sites))
+    if config.slice_mode == "full":
+        slice_ = slicer.slice(instrumented, None, prune=False)
+    else:
+        slice_ = slicer.slice(instrumented, set(predictor.needed_sites))
 
     # 4b. Optionally optimize the slice (opt-in).  This happens BEFORE
     # certification so the certificate covers the program the governor

@@ -87,6 +87,7 @@ class Slicer:
         self,
         instrumented: InstrumentedProgram,
         needed_sites: set[str] | frozenset[str] | None = None,
+        prune: bool = True,
     ) -> PredictionSlice:
         """Produce the prediction slice for ``needed_sites``.
 
@@ -95,6 +96,12 @@ class Slicer:
                 :class:`~repro.programs.instrument.Instrumenter`).
             needed_sites: Feature sites the execution-time model uses.
                 ``None`` keeps every instrumented site.
+            prune: Apply the dependence analysis and drop statements the
+                needed sites do not depend on.  ``False`` keeps the whole
+                instrumented body — the "no slicing" ablation, where the
+                predictor measures features by re-running the entire
+                program (marshalling cost included) — which is only
+                meaningful with every site kept.
 
         Raises:
             KeyError: If a requested site does not exist in the program.
@@ -110,7 +117,7 @@ class Slicer:
 
         body = instrumented.program.body
         relevant = self._relevant_variables(body, needed)
-        sliced = self._slice_stmt(body, needed, relevant)
+        sliced = self._slice_stmt(body, needed, relevant) if prune else body
         marshal = self.marshal_base_instr + self.marshal_per_var_instr * len(
             relevant
         )

@@ -367,14 +367,31 @@ def compare_directories(
     runs_a = _load_metrics(a, runs=runs)
     runs_b = _load_metrics(b, runs=runs)
     shared = sorted(set(runs_a) & set(runs_b))
+    # A run the baseline has but the candidate lost is a regression,
+    # not a footnote: a truncated or silently-skipped run would
+    # otherwise make the diff look *cleaner* than a complete one.
+    missing = sorted(set(runs_a) - set(runs_b))
+    missing_deltas = tuple(
+        MetricDelta(
+            run=name, metric="<run missing from b>", a=1.0, b=None,
+            regressed=True,
+        )
+        for name in missing
+    )
     if not shared:
+        text = (
+            f"no run names shared between {a} ({sorted(runs_a)}) "
+            f"and {b} ({sorted(runs_b)})"
+        )
+        if missing:
+            text += (
+                f"\n\n{len(missing)} baseline run(s) missing from "
+                f"{b}: " + ", ".join(missing)
+            )
         return DirectoryDiff(
-            text=(
-                f"no run names shared between {a} ({sorted(runs_a)}) "
-                f"and {b} ({sorted(runs_b)})"
-            ),
-            deltas=(),
-            regressions=(),
+            text=text,
+            deltas=missing_deltas,
+            regressions=missing_deltas,
             shared_runs=(),
         )
     sections = [f"trace diff: {a}  vs  {b}"]
@@ -409,9 +426,16 @@ def compare_directories(
             )
         else:
             sections.append(f"{name}: identical")
-    only = sorted((set(runs_a) | set(runs_b)) - set(shared))
-    if only:
-        sections.append(f"runs present on one side only: {', '.join(only)}")
+    if missing:
+        deltas.extend(missing_deltas)
+        sections.append(
+            f"{len(missing)} baseline run(s) missing from {b} "
+            f"(counted as regressions): " + ", ".join(missing)
+        )
+    extra = sorted(set(runs_b) - set(runs_a))
+    if extra:
+        # New runs on the candidate side are informational only.
+        sections.append(f"runs only in {b}: {', '.join(extra)}")
     regressions = tuple(d for d in deltas if d.regressed)
     if regressions:
         sections.append(
@@ -484,6 +508,28 @@ GATE_DEFAULT_METRICS = (
     "energy.j_per_job",
     "energy.savings_frac",
     "energy.conservation_error_j",
+    # Ablation-matrix roll-up (``repro ablate run``); the matrix is
+    # byte-deterministic, so BENCH_ablate_baseline.json pins its shape,
+    # the baseline variant's health, and every registered component's
+    # measured importance — a code change that silently rewrites which
+    # components matter fails the gate.
+    "ablate.cells",
+    "ablate.components",
+    "ablate.jobs",
+    "ablate.baseline.miss_rate",
+    "ablate.baseline.energy_per_job_j",
+    "ablate.baseline.savings_frac",
+    "ablate.baseline.p05_slack_s",
+    "ablate.asymmetric_loss.importance",
+    "ablate.asymmetric_loss.miss_rate_delta_pp",
+    "ablate.safety_margin.importance",
+    "ablate.safety_margin.miss_rate_delta_pp",
+    "ablate.safety_margin.energy_delta_frac",
+    "ablate.slicing.importance",
+    "ablate.recalibration.importance",
+    "ablate.bound_skip.importance",
+    "ablate.aimd_margin.importance",
+    "ablate.fallback.importance",
 )
 
 #: Tolerance written into generated baselines (a run re-simulated from

@@ -1,0 +1,160 @@
+"""The ``repro ablate`` CLI end to end, including the gate integration."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.report import gate_directory, make_baseline
+
+FAST = [
+    "--workloads", "rijndael",
+    "--jobs", "8",
+    "--components", "safety_margin",
+    "--scenarios", "jitter",
+    "--profile-jobs", "20",
+    "--switch-samples", "5",
+    "--seed", "11",
+]
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("ablate")
+    assert main(["ablate", "run", *FAST, "--out", str(out)]) == 0
+    return out
+
+
+class TestRun:
+    def test_prints_ranked_table(self, run_dir, capsys):
+        assert (
+            main(["ablate", "run", *FAST, "--out", str(run_dir)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "component importance" in out
+        assert "no-safety_margin" in out
+        assert "baseline:" in out
+
+    def test_always_writes_raw_results_and_metrics(self, run_dir):
+        assert (run_dir / "ablation_results.json").is_file()
+        metrics = json.loads(
+            (run_dir / "ablate.summary.metrics.json").read_text()
+        )
+        assert metrics["counters"]["ablate.cells"] == 2.0
+        assert (
+            "ablate.safety_margin.importance" in metrics["gauges"]
+        )
+
+    def test_opt_in_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "full"
+        assert (
+            main(
+                [
+                    "ablate", "run", *FAST, "--out", str(out),
+                    "--json", "--csv", "--markdown",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        for name in ("ablation.json", "ablation.csv", "ablation.md"):
+            assert (out / name).is_file()
+
+    def test_unknown_workload_is_usage_error(self, capsys):
+        assert main(["ablate", "run", "--workloads", "nonesuch"]) == 2
+        assert "nonesuch" in capsys.readouterr().err
+
+    def test_unknown_component_is_usage_error(self, capsys):
+        assert (
+            main(
+                [
+                    "ablate", "run", "--workloads", "rijndael",
+                    "--components", "nonesuch",
+                ]
+            )
+            == 2
+        )
+        assert "nonesuch" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        assert (
+            main(
+                [
+                    "ablate", "run", "--workloads", "rijndael",
+                    "--scenarios", "hurricane",
+                ]
+            )
+            == 2
+        )
+        assert "hurricane" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_rescores_without_resimulating(self, run_dir, capsys):
+        assert main(["ablate", "report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "no-safety_margin" in out
+
+    def test_rescore_matches_the_original_stdout(self, run_dir, capsys):
+        main(["ablate", "run", *FAST, "--out", str(run_dir)])
+        from_run = capsys.readouterr().out
+        main(["ablate", "report", str(run_dir)])
+        from_report = capsys.readouterr().out
+        assert from_report == from_run
+
+    def test_missing_directory_is_usage_error(self, tmp_path, capsys):
+        assert main(["ablate", "report", str(tmp_path / "nope")]) == 2
+        assert "ablation_results.json" in capsys.readouterr().err
+
+    def test_can_reemit_artifacts(self, run_dir, capsys):
+        assert (
+            main(["ablate", "report", str(run_dir), "--markdown"]) == 0
+        )
+        capsys.readouterr()
+        assert (run_dir / "ablation.md").is_file()
+
+
+class TestDispatch:
+    def test_bare_ablate_is_usage_error(self):
+        assert main(["ablate"]) == 2
+
+    def test_help_exits_clean(self, capsys):
+        assert main(["ablate", "--help"]) == 0
+        assert "run" in capsys.readouterr().out
+
+    def test_unknown_subcommand(self, capsys):
+        assert main(["ablate", "frobnicate"]) == 2
+        assert "frobnicate" in capsys.readouterr().err
+
+    def test_listed_in_repro_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "ablate" in capsys.readouterr().out
+
+
+class TestGateIntegration:
+    def test_ablate_metrics_gate_like_any_trace(self, run_dir):
+        baseline = make_baseline(run_dir, tolerance=0.10)
+        pinned = baseline["runs"]["ablate.summary"]
+        assert "ablate.safety_margin.importance" in pinned
+        assert "ablate.baseline.miss_rate" in pinned
+        gate = gate_directory(run_dir, baseline)
+        assert gate.passed
+        assert gate.checked >= len(pinned)
+
+    def test_report_gate_cli_round_trip(self, run_dir, tmp_path, capsys):
+        baseline_path = tmp_path / "BENCH_test_baseline.json"
+        baseline_path.write_text(
+            json.dumps(make_baseline(run_dir, tolerance=0.10))
+        )
+        assert (
+            main(
+                [
+                    "report", str(run_dir),
+                    "--gate", str(baseline_path),
+                    "--runs", "ablate.",
+                ]
+            )
+            == 0
+        )
+        assert "gate" in capsys.readouterr().out.lower()

@@ -1,0 +1,147 @@
+"""Scoring directions, ranking, and artifact emission."""
+
+import json
+
+import pytest
+
+from repro.ablation.emit import (
+    metrics_payload,
+    ranked_table,
+    report_csv,
+    report_markdown,
+    write_artifacts,
+)
+from repro.ablation.registry import component_names
+from repro.ablation.score import score_ablation
+from repro.telemetry.report import GATE_DEFAULT_METRICS
+
+
+class TestDirections:
+    """The acceptance directions, asserted against measured runs."""
+
+    def test_disabling_asymmetric_loss_worsens_misses(self, matrix_report):
+        score = matrix_report.score_for("no-asymmetric_loss")
+        assert score.miss_rate_delta > 0.0
+
+    def test_disabling_margin_worsens_misses_and_improves_energy(
+        self, matrix_report
+    ):
+        score = matrix_report.score_for("no-safety_margin")
+        assert score.miss_rate_delta > 0.0
+        assert score.energy_delta_frac < 0.0
+
+    def test_every_component_changes_behaviour(self, matrix_report):
+        """No structural zeros: each registered component's off-state
+        produces at least one provenance divergence vs. the baseline."""
+        for name in component_names():
+            score = matrix_report.score_for(f"no-{name}")
+            assert score.divergences > 0, name
+            assert score.top_divergence
+
+    def test_ranking_is_by_importance_descending(self, matrix_report):
+        importances = [s.importance for s in matrix_report.scores]
+        assert importances == sorted(importances, reverse=True)
+
+    def test_bootstrap_cis_bracket_the_point_estimate(self, matrix_report):
+        for score in matrix_report.scores:
+            lo, hi = score.miss_rate_ci
+            assert lo <= hi
+            for cell in score.cells:
+                lo, hi = cell.miss_rate_ci
+                assert lo <= cell.miss_rate_delta + 1e-9
+                assert cell.miss_rate_delta - 1e-9 <= hi
+
+    def test_scoring_is_deterministic(self, matrix_result):
+        a = score_ablation(matrix_result, resamples=50).as_dict()
+        b = score_ablation(matrix_result, resamples=50).as_dict()
+        assert json.dumps(a, sort_keys=True) == json.dumps(
+            b, sort_keys=True
+        )
+
+    def test_unknown_variant_lookup(self, matrix_report):
+        with pytest.raises(KeyError):
+            matrix_report.score_for("no-nonesuch")
+
+
+class TestEmission:
+    def test_ranked_table_names_every_variant(self, matrix_report):
+        table = ranked_table(matrix_report)
+        for score in matrix_report.scores:
+            assert score.variant in table
+        assert "baseline:" in table
+
+    def test_csv_has_aggregate_and_per_cell_rows(self, matrix_report):
+        lines = report_csv(matrix_report).strip().splitlines()
+        n_scores = len(matrix_report.scores)
+        n_cells = sum(len(s.cells) for s in matrix_report.scores)
+        assert len(lines) == 1 + n_scores + n_cells
+        assert lines[0].startswith("variant,workload,scenario")
+
+    def test_markdown_documents_each_component(self, matrix_report):
+        text = report_markdown(matrix_report)
+        assert "# Ablation report" in text
+        assert "## What each disabled component is" in text
+        assert "## Per-cell deltas" in text
+        for name in component_names():
+            assert f"`{name}`" in text
+
+    def test_metrics_payload_matches_the_telemetry_schema(
+        self, matrix_result, matrix_report
+    ):
+        payload = metrics_payload(matrix_result, matrix_report)
+        assert set(payload) == {"counters", "gauges", "histograms"}
+        assert payload["counters"]["ablate.cells"] == len(
+            matrix_result.cells
+        )
+        assert payload["counters"]["ablate.components"] == len(
+            component_names()
+        )
+        for name in component_names():
+            assert f"ablate.{name}.importance" in payload["gauges"]
+
+    def test_gate_defaults_pin_every_component(self):
+        """Satellite guard: registering a component without gating its
+        importance would silently exempt it from CI."""
+        for name in component_names():
+            assert f"ablate.{name}.importance" in GATE_DEFAULT_METRICS
+        for metric in (
+            "ablate.cells",
+            "ablate.jobs",
+            "ablate.baseline.miss_rate",
+            "ablate.safety_margin.energy_delta_frac",
+        ):
+            assert metric in GATE_DEFAULT_METRICS
+
+    def test_write_artifacts_always_includes_raw_and_metrics(
+        self, matrix_result, matrix_report, tmp_path
+    ):
+        written = write_artifacts(
+            matrix_result, matrix_report, tmp_path
+        )
+        names = [p.name for p in written]
+        assert names == [
+            "ablation_results.json", "ablate.summary.metrics.json"
+        ]
+        metrics = json.loads(
+            (tmp_path / "ablate.summary.metrics.json").read_text()
+        )
+        assert metrics["counters"]["ablate.cells"] > 0
+
+    def test_opt_in_artifacts(self, matrix_result, matrix_report, tmp_path):
+        written = write_artifacts(
+            matrix_result,
+            matrix_report,
+            tmp_path,
+            json_report=True,
+            csv_report=True,
+            markdown_report=True,
+        )
+        names = {p.name for p in written}
+        assert {"ablation.json", "ablation.csv", "ablation.md"} <= names
+
+    def test_report_json_round_trips_through_dumps(self, matrix_report):
+        payload = matrix_report.as_dict()
+        again = json.loads(json.dumps(payload, sort_keys=True))
+        assert [entry["variant"] for entry in again["ranking"]] == [
+            s.variant for s in matrix_report.scores
+        ]

@@ -227,6 +227,76 @@ class TestCompareDirectories:
         assert compare_directories(a, b, tolerance=0.01).regressions
 
 
+class TestMissingRunIsARegression:
+    """A truncated candidate directory must fail the diff, not pass it.
+
+    The historical hole: a run present in the baseline but absent from
+    the candidate was only mentioned in prose, so a candidate that
+    crashed half-way looked *cleaner* than a complete one.
+    """
+
+    def two_run_baseline(self, tmp_path):
+        a = tmp_path / "a"
+        session = TraceSession(a)
+        session.telemetry_for("sha.adaptive").metrics.counter(
+            "executor.jobs"
+        ).inc(3)
+        session.telemetry_for("ldecode.adaptive").metrics.counter(
+            "executor.jobs"
+        ).inc(3)
+        session.flush()
+        return a
+
+    def truncated_candidate(self, tmp_path):
+        b = tmp_path / "b"
+        session = TraceSession(b)
+        session.telemetry_for("sha.adaptive").metrics.counter(
+            "executor.jobs"
+        ).inc(3)
+        session.flush()
+        return b
+
+    def test_truncated_run_directory_regresses(self, tmp_path):
+        from repro.telemetry.report import compare_directories
+
+        a = self.two_run_baseline(tmp_path)
+        b = self.truncated_candidate(tmp_path)
+        diff = compare_directories(a, b)
+        assert [(d.run, d.regressed) for d in diff.regressions] == [
+            ("ldecode.adaptive", True)
+        ]
+        assert "missing from" in diff.text
+
+    def test_truncated_run_directory_fails_the_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = self.two_run_baseline(tmp_path)
+        b = self.truncated_candidate(tmp_path)
+        assert main(["report", str(a), str(b)]) == 1
+        capsys.readouterr()
+        # The reverse direction gained a run — informational, exit 0.
+        assert main(["report", str(b), str(a)]) == 0
+        assert "runs only in" in capsys.readouterr().out
+
+    def test_disjoint_directories_regress_every_baseline_run(
+        self, tmp_path
+    ):
+        from repro.telemetry.report import compare_directories
+
+        a = self.two_run_baseline(tmp_path)
+        b = tmp_path / "c"
+        session = TraceSession(b)
+        session.telemetry_for("other.run").metrics.counter(
+            "executor.jobs"
+        ).inc(1)
+        session.flush()
+        diff = compare_directories(a, b)
+        assert sorted(d.run for d in diff.regressions) == [
+            "ldecode.adaptive", "sha.adaptive"
+        ]
+        assert diff.shared_runs == ()
+
+
 class TestMetricsGate:
     def trace_dir(self, tmp_path, sub="run", **kwargs):
         return write_session(tmp_path, sub, **kwargs)
